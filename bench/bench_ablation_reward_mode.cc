@@ -1,0 +1,59 @@
+// Design-choice ablation (see DESIGN.md): per-step reward as the paper's raw
+// subset performance (RewardMode::kAbsolute, Eqn 2 verbatim) vs. the default
+// incremental form (RewardMode::kDelta) whose discounted sum telescopes to
+// the final subset's performance.
+//
+// Under absolute rewards, *selecting anything early* is genuinely optimal —
+// every selected feature keeps paying its AUC at all later steps — so the
+// transferred policy drifts toward budget-filling; the delta form assigns
+// each feature its marginal contribution. This bench quantifies the gap.
+//
+//   ./build/bench/bench_ablation_reward_mode [--datasets Water-quality]
+
+#include "bench_common.h"
+
+using namespace pafeat;
+using namespace pafeat::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  options.datasets = "Water-quality,Emotions";
+  double mfr = 0.5;
+  FlagSet flags;
+  options.Register(&flags);
+  flags.AddDouble("mfr", &mfr, "max feature ratio");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf(
+      "ABLATION: per-step reward definition (delta vs absolute Eqn 2)\n\n");
+  TablePrinter table({"Dataset", "delta F1", "delta AUC", "delta #feat",
+                      "absolute F1", "absolute AUC", "absolute #feat"});
+
+  for (const SyntheticSpec& spec : SelectSpecs(options)) {
+    BenchProblem bench = MakeBenchProblem(spec, options);
+    const std::vector<int> seen = bench.dataset.SeenTaskIndices();
+    const std::vector<int> unseen = bench.dataset.UnseenTaskIndices();
+
+    std::vector<double> row;
+    for (RewardMode mode : {RewardMode::kDelta, RewardMode::kAbsolute}) {
+      FeatBasedOptions feat_options =
+          MakeFeatOptions(options, spec.num_features);
+      feat_options.feat.reward_mode = mode;
+      PaFeatSelector selector(feat_options);
+      const MethodEvaluation evaluation = EvaluateMethod(
+          bench.problem.get(), seen, unseen, mfr, &selector, options.seed);
+      double mean_selected = 0.0;
+      for (const FeatureMask& mask : evaluation.masks) {
+        mean_selected += MaskCount(mask);
+      }
+      mean_selected /= evaluation.masks.size();
+      row.push_back(evaluation.avg_f1);
+      row.push_back(evaluation.avg_auc);
+      row.push_back(mean_selected);
+    }
+    table.AddRow(spec.name, row, 4);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Fig 5: impact of the max feature ratio on Avg F1-score for
+// PA-FEAT vs. the multi-task baselines (PopArt, Go-Explore, RR, GRRO-LS,
+// Ant-TD, MDFS) and the no-FS references (SVM, DNN), per dataset.
+//
+// Default: the four smaller datasets at reduced scale. Paper-fidelity:
+//   ./build/bench/bench_fig5_f1_vs_mfr --all_datasets --iterations 2000
+//       --max_rows 0 --no_iteration_scaling
+
+#include "bench_common.h"
+
+using namespace pafeat;
+using namespace pafeat::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  std::string mfr_list = "0.2,0.4,0.6,0.8,1.0";
+  FlagSet flags;
+  options.Register(&flags);
+  flags.AddString("mfr_values", &mfr_list, "comma-separated mfr sweep values");
+  std::string csv_prefix;
+  flags.AddString("csv_prefix", &csv_prefix, "also write per-dataset CSV files with this prefix");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::vector<double> mfr_values;
+  for (const std::string& raw : Split(mfr_list, ',')) {
+    double value = 0.0;
+    PF_CHECK(ParseDouble(raw, &value)) << "bad mfr '" << raw << "'";
+    mfr_values.push_back(value);
+  }
+
+  std::printf("FIG 5: impact of max feature ratio over Avg F1-score\n\n");
+  RunMfrSweep(options, mfr_values, "F1", csv_prefix);
+  return 0;
+}

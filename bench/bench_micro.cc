@@ -1,0 +1,234 @@
+// Micro-benchmarks (google-benchmark) for the kernels under the PA-FEAT
+// harness: matrix multiply, MLP forward/backward, dueling-net inference,
+// environment steps with a cold vs. warm reward cache, E-Tree operations,
+// and the statistics primitives (AUC, Pearson task representation).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/etree.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "ml/masked_dnn.h"
+#include "ml/metrics.h"
+#include "ml/subset_evaluator.h"
+#include "nn/dueling_net.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/fs_env.h"
+
+namespace pafeat {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForward(benchmark::State& state) {
+  const int input_dim = static_cast<int>(state.range(0));
+  Rng rng(2);
+  MlpConfig config;
+  config.input_dim = input_dim;
+  config.hidden_dims = {64, 64};
+  config.output_dim = 2;
+  Mlp net(config, &rng);
+  const Matrix batch = Matrix::RandomNormal(32, input_dim, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(batch));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(35)->Arg(147)->Arg(2043);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  MlpConfig config;
+  config.input_dim = 147;  // 2 * 72 + 3: the Emotions observation size
+  config.hidden_dims = {64, 64};
+  config.output_dim = 2;
+  Mlp net(config, &rng);
+  AdamOptimizer adam(1e-3f);
+  const Matrix batch = Matrix::RandomNormal(32, 147, 1.0f, &rng);
+  Matrix grad(32, 2, 0.01f);
+  for (auto _ : state) {
+    net.Forward(batch);
+    net.ZeroGrad();
+    net.Backward(grad);
+    adam.Step(net.Params(), net.Grads());
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_DuelingPredictSingle(benchmark::State& state) {
+  Rng rng(4);
+  DuelingNetConfig config;
+  config.input_dim = static_cast<int>(state.range(0));
+  DuelingNet net(config, &rng);
+  const Matrix obs = Matrix::RandomNormal(1, config.input_dim, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(obs));
+  }
+}
+BENCHMARK(BM_DuelingPredictSingle)->Arg(35)->Arg(209)->Arg(2043);
+
+// One full environment episode with an empty reward cache (every step pays
+// a classifier evaluation) vs. a pre-warmed cache. The gap is the reason
+// the SubsetEvaluator memoization exists.
+struct EnvFixture {
+  EnvFixture() {
+    SyntheticSpec spec;
+    spec.num_instances = 400;
+    spec.num_features = 32;
+    spec.num_seen_tasks = 1;
+    spec.num_unseen_tasks = 1;
+    spec.seed = 5;
+    dataset = GenerateSynthetic(spec);
+    rows.resize(400);
+    for (int i = 0; i < 400; ++i) rows[i] = i;
+    labels = dataset.table.LabelColumn(0);
+    Rng rng(6);
+    MaskedDnnConfig config;
+    config.epochs = 4;
+    classifier.Fit(dataset.table.features(), labels, rows, &rng);
+    evaluator = std::make_unique<SubsetEvaluator>(&dataset.table.features(),
+                                                  labels, rows, &classifier);
+    repr = TaskRepresentation(dataset.table.features(), labels, rows);
+  }
+  SyntheticDataset dataset;
+  std::vector<int> rows;
+  std::vector<float> labels;
+  MaskedDnnClassifier classifier;
+  std::unique_ptr<SubsetEvaluator> evaluator;
+  std::vector<float> repr;
+};
+
+void BM_EnvEpisodeColdCache(benchmark::State& state) {
+  EnvFixture fixture;
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh evaluator: empty cache.
+    SubsetEvaluator cold(&fixture.dataset.table.features(), fixture.labels,
+                         fixture.rows, &fixture.classifier);
+    FeatureSelectionEnv env(fixture.repr, &cold, 0.5);
+    state.ResumeTiming();
+    env.Reset();
+    while (!env.Done()) {
+      env.Step(rng.Bernoulli(0.3) ? kActionSelect : kActionDeselect);
+    }
+  }
+}
+BENCHMARK(BM_EnvEpisodeColdCache);
+
+void BM_EnvEpisodeWarmCache(benchmark::State& state) {
+  EnvFixture fixture;
+  FeatureSelectionEnv env(fixture.repr, fixture.evaluator.get(), 0.5);
+  // Warm the cache with the exact policy replayed below.
+  Rng warm_rng(8);
+  env.Reset();
+  while (!env.Done()) {
+    env.Step(warm_rng.Bernoulli(0.3) ? kActionSelect : kActionDeselect);
+  }
+  for (auto _ : state) {
+    Rng rng(8);  // same stream -> same masks -> all cache hits
+    env.Reset();
+    while (!env.Done()) {
+      env.Step(rng.Bernoulli(0.3) ? kActionSelect : kActionDeselect);
+    }
+  }
+}
+BENCHMARK(BM_EnvEpisodeWarmCache);
+
+void BM_ETreeAddTrajectory(benchmark::State& state) {
+  Rng rng(9);
+  const int m = 64;
+  std::vector<std::vector<int>> paths;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<int> path(m);
+    for (int& a : path) a = rng.UniformInt(2);
+    paths.push_back(std::move(path));
+  }
+  int i = 0;
+  ETree tree(m);
+  for (auto _ : state) {
+    tree.AddTrajectory(paths[i++ & 255], 0.5);
+  }
+}
+BENCHMARK(BM_ETreeAddTrajectory);
+
+void BM_ETreeSelectPrefix(benchmark::State& state) {
+  Rng rng(10);
+  const int m = 64;
+  ETree tree(m);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int> path(m);
+    for (int& a : path) a = rng.UniformInt(2);
+    tree.AddTrajectory(path, rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.SelectPrefix(2.0, m - 1));
+  }
+}
+BENCHMARK(BM_ETreeSelectPrefix);
+
+void BM_AucScore(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<float> scores(n);
+  std::vector<float> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AucScore(scores, labels));
+  }
+}
+BENCHMARK(BM_AucScore)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_TaskRepresentation(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(12);
+  const Matrix features = Matrix::RandomNormal(1000, m, 1.0f, &rng);
+  std::vector<float> labels(1000);
+  for (float& y : labels) y = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  std::vector<int> rows(1000);
+  for (int i = 0; i < 1000; ++i) rows[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TaskRepresentation(features, labels, rows));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000LL * m);
+}
+BENCHMARK(BM_TaskRepresentation)->Arg(16)->Arg(120)->Arg(1020);
+
+void BM_MutualInformationRanking(benchmark::State& state) {
+  // K-Best's per-query cost for comparison with BM_TaskRepresentation
+  // (the paper argues both are O(n m)).
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(13);
+  const Matrix features = Matrix::RandomNormal(1000, m, 1.0f, &rng);
+  std::vector<float> labels(1000);
+  for (float& y : labels) y = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  std::vector<int> rows(1000);
+  for (int i = 0; i < 1000; ++i) rows[i] = i;
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int f = 0; f < m; ++f) {
+      total += MutualInformationWithLabel(features, f, labels, rows);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MutualInformationRanking)->Arg(16)->Arg(120);
+
+}  // namespace
+}  // namespace pafeat
+
+BENCHMARK_MAIN();

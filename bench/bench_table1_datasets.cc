@@ -1,0 +1,53 @@
+// Reproduces Table I: characteristics of the eight evaluation datasets.
+// Since the paper's datasets are replaced by synthetic equivalents (see
+// DESIGN.md), the bench also reports generation-side ground truth: the
+// positive-rate range across tasks and the planted relevant-subset size.
+//
+//   ./build/bench/bench_table1_datasets [--max_rows 0]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+using namespace pafeat;
+using namespace pafeat::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  options.datasets =
+      "Emotions,Water-quality,Yeast,Physionet2012,Computers,Mediamill,"
+      "Business,Entertainment";
+  options.max_rows = 0;  // Table I reports the paper-size shapes
+  FlagSet flags;
+  options.Register(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("TABLE I: CHARACTERISTICS OF DATASETS (synthetic equivalents)\n\n");
+  TablePrinter table({"Dataset", "#Instances", "#Features", "#Seen tasks",
+                      "#Unseen tasks", "pos-rate min..max", "#relevant/task"});
+
+  for (const SyntheticSpec& spec : SelectSpecs(options)) {
+    const SyntheticDataset dataset = GenerateSynthetic(spec);
+    double min_rate = 1.0;
+    double max_rate = 0.0;
+    for (int t = 0; t < dataset.table.num_labels(); ++t) {
+      int positives = 0;
+      for (float y : dataset.table.LabelColumn(t)) {
+        if (y > 0.5f) ++positives;
+      }
+      const double rate =
+          static_cast<double>(positives) / dataset.table.num_rows();
+      min_rate = std::min(min_rate, rate);
+      max_rate = std::max(max_rate, rate);
+    }
+    table.AddRow({spec.name, std::to_string(dataset.table.num_rows()),
+                  std::to_string(dataset.table.num_features()),
+                  std::to_string(spec.num_seen_tasks),
+                  std::to_string(spec.num_unseen_tasks),
+                  FormatDouble(min_rate, 2) + ".." + FormatDouble(max_rate, 2),
+                  std::to_string(dataset.spec.relevant_per_task)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  return 0;
+}

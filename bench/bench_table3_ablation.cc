@@ -1,0 +1,77 @@
+// Reproduces Table III: ablation study — Avg F1-score and Avg AUC of the
+// complete PA-FEAT vs. the variants without ITS, without ITE, without both,
+// and without the policy exploitation (PE) inside ITE.
+//
+// The paper reports 5-run means; pass --runs 5 to do the same (cells then
+// show mean ± sample stddev).
+//
+//   ./build/bench/bench_table3_ablation [--all_datasets] [--runs 5]
+
+#include "bench_common.h"
+#include "core/multi_run.h"
+
+using namespace pafeat;
+using namespace pafeat::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  double mfr = 0.5;
+  int runs = 1;
+  FlagSet flags;
+  options.Register(&flags);
+  flags.AddDouble("mfr", &mfr, "max feature ratio");
+  flags.AddInt("runs", &runs, "independent runs per cell (paper: 5)");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("TABLE III: ablation study of PA-FEAT (%d run%s per cell)\n\n",
+              runs, runs == 1 ? "" : "s");
+
+  std::vector<PaFeatAblation> variants(5);
+  variants[0] = {};                                   // complete model
+  variants[1].use_its = false;                        // w/o ITS
+  variants[2].use_ite = false;                        // w/o ITE
+  variants[3].use_its = false;
+  variants[3].use_ite = false;                        // w/o ITS & ITE
+  variants[4].policy_exploitation = false;            // w/o PE
+
+  std::vector<std::string> header = {"Dataset"};
+  for (const PaFeatAblation& ablation : variants) {
+    const std::string name = "PA-FEAT" + ablation.Suffix();
+    header.push_back(name + " F1");
+    header.push_back(name + " AUC");
+  }
+  TablePrinter table(header);
+
+  for (const SyntheticSpec& spec : SelectSpecs(options)) {
+    BenchProblem bench = MakeBenchProblem(spec, options);
+    const std::vector<int> seen = bench.dataset.SeenTaskIndices();
+    const std::vector<int> unseen = bench.dataset.UnseenTaskIndices();
+
+    std::vector<std::string> row = {spec.name};
+    for (const PaFeatAblation& ablation : variants) {
+      std::vector<double> f1_values;
+      std::vector<double> auc_values;
+      for (int run = 0; run < runs; ++run) {
+        FeatBasedOptions feat_options =
+            MakeFeatOptions(options, spec.num_features);
+        feat_options.feat.seed += 7919u * run;
+        PaFeatSelector selector(feat_options, ablation);
+        const MethodEvaluation evaluation =
+            EvaluateMethod(bench.problem.get(), seen, unseen, mfr, &selector,
+                           options.seed + 3 + run);
+        f1_values.push_back(evaluation.avg_f1);
+        auc_values.push_back(evaluation.avg_auc);
+      }
+      const RunStatistics f1 = Summarize(f1_values);
+      const RunStatistics auc = Summarize(auc_values);
+      row.push_back(runs > 1 ? FormatMeanStd(f1, 4)
+                             : FormatDouble(f1.mean, 4));
+      row.push_back(runs > 1 ? FormatMeanStd(auc, 4)
+                             : FormatDouble(auc.mean, 4));
+    }
+    table.AddRow(row);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every table/figure bench at default scale plus the micro suite.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/bench_table1_datasets build/bench/bench_fig5_f1_vs_mfr \
+         build/bench/bench_fig6_auc_vs_mfr build/bench/bench_table2_timing \
+         build/bench/bench_fig7_single_task build/bench/bench_table3_ablation \
+         build/bench/bench_fig8_its_difficulty build/bench/bench_fig9_further_training \
+         build/bench/bench_ablation_reward_mode \
+         build/bench/bench_micro; do
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  $b 2>&1
+  echo
+done

@@ -1,0 +1,50 @@
+#ifndef PAFEAT_BASELINES_ANT_TD_H_
+#define PAFEAT_BASELINES_ANT_TD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pafeat {
+
+struct AntTdConfig {
+  int num_ants = 10;
+  int generations = 15;
+  double pheromone_weight = 1.0;   // alpha
+  double heuristic_weight = 1.0;   // beta
+  double td_learning_rate = 0.3;   // TD update step toward subset quality
+  double evaporation = 0.05;
+  int mi_bins = 10;
+  // Row cap for the per-subset quality evaluation (logistic AUC).
+  int quality_row_cap = 512;
+  uint64_t seed = 1234;
+};
+
+// Ant-TD (Paniri et al., 2021): Ant Colony Optimization for multi-label
+// feature selection where temporal-difference updates propagate subset
+// quality into the pheromone table. Extended to the fast-FS setting at
+// query time: the heuristic blends relevance to all labels (seen + unseen),
+// ants build subsets of the target size, each subset's quality is measured
+// by a quick model on the unseen task, and pheromones learn by TD.
+class AntTdSelector : public FeatureSelector {
+ public:
+  explicit AntTdSelector(const AntTdConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "Ant-TD"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  AntTdConfig config_;
+  std::vector<int> seen_;
+  double max_feature_ratio_ = 0.5;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_ANT_TD_H_

@@ -1,0 +1,152 @@
+#ifndef PAFEAT_BASELINES_FEAT_BASED_H_
+#define PAFEAT_BASELINES_FEAT_BASED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/pafeat.h"
+
+namespace pafeat {
+
+// Shared training options for every method implemented under FEAT
+// (PA-FEAT and the multi-task baselines PopArt / Go-Explore / RR). All of
+// them train before unseen tasks arrive and answer queries with one greedy
+// episode, so their execution paths are identical (Table II's observation).
+struct FeatBasedOptions {
+  int train_iterations = 100;
+  FeatConfig feat;
+};
+
+// The complete PA-FEAT method as a FeatureSelector, with the Table III
+// ablation switches.
+struct PaFeatAblation {
+  bool use_its = true;
+  bool use_ite = true;
+  bool policy_exploitation = true;  // "w/o PE" when false
+
+  std::string Suffix() const;
+};
+
+class PaFeatSelector : public FeatureSelector {
+ public:
+  explicit PaFeatSelector(const FeatBasedOptions& options,
+                          const PaFeatAblation& ablation = {});
+
+  std::string name() const override;
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+  PaFeat* pafeat() { return pafeat_.get(); }
+
+ private:
+  FeatBasedOptions options_;
+  PaFeatAblation ablation_;
+  std::unique_ptr<PaFeat> pafeat_;
+};
+
+// PopArt (Hessel et al., 2019) under FEAT: uniform task scheduling, default
+// initial states, per-task adaptive rescaling of the TD targets plus the
+// extra rescaling layer the paper charges its iteration time to.
+class PopArtSelector : public FeatureSelector {
+ public:
+  explicit PopArtSelector(const FeatBasedOptions& options);
+
+  std::string name() const override { return "PopArt"; }
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  FeatBasedOptions options_;
+  std::unique_ptr<Feat> feat_;
+};
+
+// Go-Explore (Ecoffet et al., 2021) under FEAT: an archive of visited states
+// picked by count-based novelty supplies initial states, and rollouts from
+// them use a *random* policy — exploration fully decoupled from the learned
+// policy (the weakness PA-FEAT's ITE addresses).
+class GoExploreProvider : public InitialStateProvider {
+ public:
+  GoExploreProvider(int num_features, double use_probability);
+
+  std::optional<EpisodeStart> Propose(int task_slot,
+                                      const SeenTaskRuntime& task,
+                                      Rng* rng) override;
+  void OnTrajectory(int task_slot, const std::vector<int>& actions,
+                    double episode_return) override;
+
+  int ArchiveSize(int task_slot) const;
+
+ private:
+  struct Entry {
+    EnvState state;
+    int times_chosen = 0;
+  };
+  struct TaskArchive {
+    std::unordered_map<std::string, int> index;
+    std::vector<Entry> entries;
+  };
+
+  int num_features_;
+  double use_probability_;
+  std::vector<TaskArchive> archives_;
+};
+
+class GoExploreSelector : public FeatureSelector {
+ public:
+  explicit GoExploreSelector(const FeatBasedOptions& options);
+
+  std::string name() const override { return "Go-Explore"; }
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  FeatBasedOptions options_;
+  std::unique_ptr<Feat> feat_;
+};
+
+// Reward Randomization (Tang et al., 2021) under FEAT: each episode draws a
+// random reward scaling, diversifying exploration at the cost of a noisier
+// learning signal (and extra per-step arithmetic, hence the highest
+// iteration times in Table II).
+class RandomizedRewardShaper : public RewardShaper {
+ public:
+  RandomizedRewardShaper(double low, double high, double noise_stddev);
+
+  // Draws the episode's reward scale (the randomization).
+  double BeginEpisode(int task_slot, Rng* rng) override;
+  double Shape(double reward, int task_slot, double context,
+               Rng* rng) override;
+
+ private:
+  double low_;
+  double high_;
+  double noise_stddev_;
+};
+
+class RewardRandomizationSelector : public FeatureSelector {
+ public:
+  explicit RewardRandomizationSelector(const FeatBasedOptions& options);
+
+  std::string name() const override { return "RR"; }
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  FeatBasedOptions options_;
+  std::unique_ptr<Feat> feat_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_FEAT_BASED_H_

@@ -1,0 +1,46 @@
+#ifndef PAFEAT_BASELINES_GRRO_LS_H_
+#define PAFEAT_BASELINES_GRRO_LS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pafeat {
+
+struct GrroLsConfig {
+  int mi_bins = 10;
+  // Weight of the redundancy penalty against relevance.
+  double redundancy_weight = 1.0;
+  // Row cap for the pairwise feature-feature MI estimates.
+  int redundancy_row_cap = 256;
+};
+
+// GRRO-LS (Zhang et al., IJCAI 2020), information-theoretic multi-label
+// feature selection via global relevance and redundancy optimization,
+// realized as a greedy mRMR-style forward selection over all labels:
+//   score(f | S) = sum_l MI(f, y_l) - w / |S| * sum_{g in S} MI(f, g).
+// Extended to the fast-FS setting per the paper: seen labels and the target
+// unseen label are considered together at query time (no preparation is
+// possible), so the seen tasks dominate and the result is not task-specific.
+class GrroLsSelector : public FeatureSelector {
+ public:
+  explicit GrroLsSelector(const GrroLsConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "GRRO-LS"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  GrroLsConfig config_;
+  std::vector<int> seen_;
+  double max_feature_ratio_ = 0.5;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_GRRO_LS_H_

@@ -1,0 +1,37 @@
+#ifndef PAFEAT_BASELINES_KBEST_H_
+#define PAFEAT_BASELINES_KBEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pafeat {
+
+// K-Best (Yang & Pedersen, 1997): ranks features by mutual information with
+// the unseen task's label vector and keeps the top K = floor(mfr * m).
+// Purely query-time — no preparation phase — and blind to feature
+// redundancy, which is exactly what the synthetic redundant features punish.
+class KBestSelector : public FeatureSelector {
+ public:
+  explicit KBestSelector(int mi_bins = 10) : mi_bins_(mi_bins) {}
+
+  std::string name() const override { return "K-Best"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  int mi_bins_;
+  double max_feature_ratio_ = 0.5;
+};
+
+// Shared helper: target subset size under a max feature ratio.
+int TargetSubsetSize(int num_features, double max_feature_ratio);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_KBEST_H_

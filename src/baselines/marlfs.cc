@@ -1,0 +1,92 @@
+#include "baselines/marlfs.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "baselines/kbest.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace pafeat {
+
+double MarlfsSelector::Prepare(FsProblem* problem,
+                               const std::vector<int>& seen,
+                               double max_feature_ratio) {
+  (void)problem;
+  (void)seen;
+  max_feature_ratio_ = max_feature_ratio;
+  return 0.0;
+}
+
+FeatureMask MarlfsSelector::SelectForUnseen(FsProblem* problem,
+                                            int unseen_label_index,
+                                            double* execution_seconds) {
+  WallTimer timer;
+  const int m = problem->num_features();
+  const int cap = TargetSubsetSize(m, max_feature_ratio_);
+  Rng rng(config_.seed + 31 * unseen_label_index);
+
+  // The task context (reward classifier + evaluator) is built from scratch
+  // for the unseen task; its cost belongs to the timed query.
+  const TaskContext& context = problem->Task(unseen_label_index);
+  const SubsetEvaluator& evaluator = *context.evaluator;
+
+  // Per-feature agents: Q[f][a] for a in {deselect, select}.
+  std::vector<std::array<float, 2>> q(m, {0.0f, 0.0f});
+  FeatureMask best_mask(m, 0);
+  double best_reward = -1.0;
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    const float progress =
+        config_.episodes > 1
+            ? static_cast<float>(episode) / (config_.episodes - 1)
+            : 1.0f;
+    const float epsilon = config_.epsilon_start +
+                          progress * (config_.epsilon_end -
+                                      config_.epsilon_start);
+
+    // Joint action: every agent picks greedily or explores.
+    FeatureMask mask(m, 0);
+    std::vector<int> actions(m);
+    for (int f = 0; f < m; ++f) {
+      int action;
+      if (rng.Bernoulli(epsilon)) {
+        action = rng.UniformInt(2);
+      } else {
+        action = q[f][1] > q[f][0] ? 1 : 0;
+      }
+      actions[f] = action;
+      mask[f] = static_cast<uint8_t>(action);
+    }
+
+    // Enforce the feature budget: keep the cap strongest selectors.
+    if (MaskCount(mask) > cap) {
+      std::vector<int> selected = MaskToIndices(mask);
+      std::sort(selected.begin(), selected.end(), [&](int a, int b) {
+        return q[a][1] - q[a][0] > q[b][1] - q[b][0];
+      });
+      for (size_t i = cap; i < selected.size(); ++i) {
+        mask[selected[i]] = 0;
+        actions[selected[i]] = 0;
+      }
+    }
+    if (MaskCount(mask) == 0) mask[rng.UniformInt(m)] = 1;
+
+    const double reward = evaluator.Reward(mask);
+    if (reward > best_reward) {
+      best_reward = reward;
+      best_mask = mask;
+    }
+    // Shared-reward independent Q updates.
+    for (int f = 0; f < m; ++f) {
+      float& value = q[f][actions[f]];
+      value += config_.learning_rate * (static_cast<float>(reward) - value);
+    }
+  }
+
+  if (execution_seconds != nullptr) *execution_seconds = timer.ElapsedSeconds();
+  return best_mask;
+}
+
+}  // namespace pafeat

@@ -1,0 +1,44 @@
+#ifndef PAFEAT_BASELINES_MARLFS_H_
+#define PAFEAT_BASELINES_MARLFS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pafeat {
+
+struct MarlfsConfig {
+  int episodes = 400;
+  float learning_rate = 0.1f;
+  float epsilon_start = 0.5f;
+  float epsilon_end = 0.02f;
+  uint64_t seed = 97;
+};
+
+// MARLFS (Liu et al., KDD 2019): one agent per feature; every episode all
+// agents simultaneously decide select/deselect, the joint subset is scored
+// by the task's reward classifier, and each agent updates the action-value
+// of its own decision toward the shared reward. Like SADRLFS it learns from
+// scratch inside the timed query, and its cost grows with the number of
+// agents (= features).
+class MarlfsSelector : public FeatureSelector {
+ public:
+  explicit MarlfsSelector(const MarlfsConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "MARLFS"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  MarlfsConfig config_;
+  double max_feature_ratio_ = 0.5;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_MARLFS_H_

@@ -1,0 +1,54 @@
+#ifndef PAFEAT_BASELINES_NO_FS_H_
+#define PAFEAT_BASELINES_NO_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "ml/masked_dnn.h"
+
+namespace pafeat {
+
+// The "no feature selection" reference: always returns the full feature set.
+// Evaluated through the standard downstream SVM this is the paper's SVM
+// baseline; pair it with EvaluateDnnAllFeatures for the DNN baseline.
+class NoFsSelector : public FeatureSelector {
+ public:
+  explicit NoFsSelector(std::string name = "SVM") : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override {
+    (void)problem;
+    (void)seen;
+    (void)max_feature_ratio;
+    return 0.0;
+  }
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override {
+    (void)unseen_label_index;
+    if (execution_seconds != nullptr) *execution_seconds = 0.0;
+    return FeatureMask(problem->num_features(), 1);
+  }
+
+ private:
+  std::string name_;
+};
+
+// The DNN baseline: a fully connected network trained on all features for
+// the unseen task (no feature selection), scored on the test split.
+DownstreamScore EvaluateDnnAllFeatures(FsProblem* problem, int label_index,
+                                       const MaskedDnnConfig& config,
+                                       uint64_t seed);
+
+// Average DNN-baseline score over a set of tasks.
+DownstreamScore AverageDnnAllFeatures(FsProblem* problem,
+                                      const std::vector<int>& labels,
+                                      const MaskedDnnConfig& config,
+                                      uint64_t seed);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_NO_FS_H_

@@ -1,0 +1,38 @@
+#ifndef PAFEAT_BASELINES_RFE_H_
+#define PAFEAT_BASELINES_RFE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "ml/logistic_regression.h"
+
+namespace pafeat {
+
+// Recursive Feature Elimination (Granitto et al., 2006): repeatedly fits a
+// linear model on the surviving features and drops the weakest fraction
+// until the target size is reached. A wrapper method — each unseen task pays
+// for a full stack of model fits, hence the long execution times in Fig 7.
+class RfeSelector : public FeatureSelector {
+ public:
+  explicit RfeSelector(double drop_fraction = 0.25,
+                       const LogisticRegressionConfig& model_config = {})
+      : drop_fraction_(drop_fraction), model_config_(model_config) {}
+
+  std::string name() const override { return "RFE"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  double drop_fraction_;
+  LogisticRegressionConfig model_config_;
+  double max_feature_ratio_ = 0.5;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_RFE_H_

@@ -1,0 +1,34 @@
+#include "baselines/sadrlfs.h"
+
+#include "common/timer.h"
+
+namespace pafeat {
+
+double SadrlfsSelector::Prepare(FsProblem* problem,
+                                const std::vector<int>& seen,
+                                double max_feature_ratio) {
+  (void)problem;
+  (void)seen;  // single-task: ignores every seen task by design
+  max_feature_ratio_ = max_feature_ratio;
+  return 0.0;
+}
+
+FeatureMask SadrlfsSelector::SelectForUnseen(FsProblem* problem,
+                                             int unseen_label_index,
+                                             double* execution_seconds) {
+  WallTimer timer;
+  FeatConfig config = feat_config_;
+  config.max_feature_ratio = max_feature_ratio_;
+  config.seed = feat_config_.seed + 131 * unseen_label_index;
+
+  // A one-task FEAT instance *is* a single-agent DQN feature selector; all
+  // of its training is paid here, inside the timed query.
+  Feat single_task(problem, {unseen_label_index}, config);
+  single_task.Train(train_iterations_);
+  const FeatureMask mask = single_task.SelectForRepresentation(
+      single_task.task_runtime(0).context->representation);
+  if (execution_seconds != nullptr) *execution_seconds = timer.ElapsedSeconds();
+  return mask;
+}
+
+}  // namespace pafeat

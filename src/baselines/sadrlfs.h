@@ -1,0 +1,38 @@
+#ifndef PAFEAT_BASELINES_SADRLFS_H_
+#define PAFEAT_BASELINES_SADRLFS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/feat.h"
+#include "core/experiment.h"
+
+namespace pafeat {
+
+// SADRLFS (Zhao et al., ICDM 2020): single-agent DRL feature selection that
+// trains a fresh Dueling-DQN *from scratch for every unseen task* in the
+// same sequential-scan MDP. No knowledge transfer: the entire RL training
+// happens inside the timed execution path, which is why Fig 7 shows
+// execution times thousands of times larger than PA-FEAT's.
+class SadrlfsSelector : public FeatureSelector {
+ public:
+  SadrlfsSelector(int train_iterations, const FeatConfig& feat_config)
+      : train_iterations_(train_iterations), feat_config_(feat_config) {}
+
+  std::string name() const override { return "SADRLFS"; }
+
+  double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                 double max_feature_ratio) override;
+
+  FeatureMask SelectForUnseen(FsProblem* problem, int unseen_label_index,
+                              double* execution_seconds) override;
+
+ private:
+  int train_iterations_;
+  FeatConfig feat_config_;
+  double max_feature_ratio_ = 0.5;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_BASELINES_SADRLFS_H_

@@ -1,0 +1,53 @@
+#ifndef PAFEAT_COMMON_FLAGS_H_
+#define PAFEAT_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pafeat {
+
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Usage:
+//   FlagSet flags;
+//   int iterations = 200;
+//   flags.AddInt("iterations", &iterations, "training iterations");
+//   if (!flags.Parse(argc, argv)) return 1;
+//
+// Accepted syntaxes: --name=value, --name value, and --bool_flag (sets true).
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target,
+               const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  // Parses argv; on error (or --help) prints usage to stderr and returns
+  // false. Unknown flags are errors.
+  bool Parse(int argc, char** argv);
+
+  // Human-readable help listing with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  bool SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_COMMON_FLAGS_H_

@@ -1,0 +1,82 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pafeat {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  PF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << CsvEscape(row[i]);
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace pafeat

@@ -1,0 +1,36 @@
+#ifndef PAFEAT_COMMON_TABLE_PRINTER_H_
+#define PAFEAT_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pafeat {
+
+// Renders rows of strings as an aligned plain-text table (the format every
+// bench binary uses to reproduce the paper's tables) or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: converts doubles with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits);
+
+  // Aligned text rendering with a header separator line.
+  std::string ToText() const;
+
+  // RFC-4180-ish CSV (fields containing commas or quotes are quoted).
+  std::string ToCsv() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,130 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace pafeat {
+namespace {
+
+constexpr uint32_t kMagic = 0x50414643;  // "PAFC"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+AgentCheckpoint MakeCheckpoint(const Feat& feat) {
+  AgentCheckpoint checkpoint;
+  checkpoint.net_config = feat.agent().online_net().config();
+  checkpoint.max_feature_ratio = feat.config().max_feature_ratio;
+  checkpoint.parameters = feat.agent().online_net().SerializeParams();
+  return checkpoint;
+}
+
+bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  WriteScalar(out, kMagic);
+  WriteScalar(out, kVersion);
+  WriteScalar(out, static_cast<int32_t>(checkpoint.net_config.input_dim));
+  WriteScalar(out, static_cast<int32_t>(checkpoint.net_config.num_actions));
+  WriteScalar(out, static_cast<uint8_t>(
+                       checkpoint.net_config.extra_rescale_layer ? 1 : 0));
+  WriteScalar(out,
+              static_cast<int32_t>(checkpoint.net_config.trunk_hidden.size()));
+  for (int h : checkpoint.net_config.trunk_hidden) {
+    WriteScalar(out, static_cast<int32_t>(h));
+  }
+  WriteScalar(out, checkpoint.max_feature_ratio);
+  WriteScalar(out, static_cast<uint64_t>(checkpoint.parameters.size()));
+  out.write(reinterpret_cast<const char*>(checkpoint.parameters.data()),
+            static_cast<std::streamsize>(checkpoint.parameters.size() *
+                                         sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadScalar(in, &magic) || magic != kMagic) return std::nullopt;
+  if (!ReadScalar(in, &version) || version != kVersion) return std::nullopt;
+
+  AgentCheckpoint checkpoint;
+  int32_t input_dim = 0;
+  int32_t num_actions = 0;
+  uint8_t extra_layer = 0;
+  int32_t num_hidden = 0;
+  if (!ReadScalar(in, &input_dim) || input_dim <= 0) return std::nullopt;
+  if (!ReadScalar(in, &num_actions) || num_actions <= 1) return std::nullopt;
+  if (!ReadScalar(in, &extra_layer)) return std::nullopt;
+  if (!ReadScalar(in, &num_hidden) || num_hidden <= 0 || num_hidden > 64) {
+    return std::nullopt;
+  }
+  checkpoint.net_config.input_dim = input_dim;
+  checkpoint.net_config.num_actions = num_actions;
+  checkpoint.net_config.extra_rescale_layer = extra_layer != 0;
+  checkpoint.net_config.trunk_hidden.clear();
+  for (int i = 0; i < num_hidden; ++i) {
+    int32_t h = 0;
+    if (!ReadScalar(in, &h) || h <= 0) return std::nullopt;
+    checkpoint.net_config.trunk_hidden.push_back(h);
+  }
+  if (!ReadScalar(in, &checkpoint.max_feature_ratio) ||
+      checkpoint.max_feature_ratio <= 0.0 ||
+      checkpoint.max_feature_ratio > 1.0) {
+    return std::nullopt;
+  }
+  uint64_t param_count = 0;
+  if (!ReadScalar(in, &param_count) || param_count == 0 ||
+      param_count > (1ull << 31)) {
+    return std::nullopt;
+  }
+  checkpoint.parameters.resize(param_count);
+  in.read(reinterpret_cast<char*>(checkpoint.parameters.data()),
+          static_cast<std::streamsize>(param_count * sizeof(float)));
+  if (!in) return std::nullopt;
+
+  // The parameter vector must exactly fit the architecture.
+  Rng probe_rng(0);
+  DuelingNet probe(checkpoint.net_config, &probe_rng);
+  if (probe.NumParams() != static_cast<int>(param_count)) return std::nullopt;
+  return checkpoint;
+}
+
+CheckpointedSelector::CheckpointedSelector(const AgentCheckpoint& checkpoint)
+    : max_feature_ratio_(checkpoint.max_feature_ratio) {
+  Rng rng(0);
+  net_ = std::make_unique<DuelingNet>(checkpoint.net_config, &rng);
+  PF_CHECK(net_->DeserializeParams(checkpoint.parameters))
+      << "checkpoint parameter count does not match the architecture";
+  PF_CHECK_EQ((net_->config().input_dim - 3) % 2, 0);
+}
+
+std::optional<CheckpointedSelector> CheckpointedSelector::FromFile(
+    const std::string& path) {
+  const std::optional<AgentCheckpoint> checkpoint = LoadCheckpoint(path);
+  if (!checkpoint.has_value()) return std::nullopt;
+  return CheckpointedSelector(*checkpoint);
+}
+
+FeatureMask CheckpointedSelector::SelectForRepresentation(
+    const std::vector<float>& representation) const {
+  return GreedySelectSubset(*net_, representation, max_feature_ratio_);
+}
+
+}  // namespace pafeat

@@ -1,0 +1,58 @@
+#ifndef PAFEAT_CORE_CHECKPOINT_H_
+#define PAFEAT_CORE_CHECKPOINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/feat.h"
+#include "core/greedy_policy.h"
+#include "nn/dueling_net.h"
+
+namespace pafeat {
+
+// Persistence for trained agents: the offline knowledge-generalization phase
+// runs once (possibly for hours), then the serving path reloads the Q-network
+// and answers unseen tasks in milliseconds — potentially in a different
+// process. The format is a little-endian binary blob with a magic/version
+// header; Load validates sizes and returns std::nullopt on any corruption.
+struct AgentCheckpoint {
+  DuelingNetConfig net_config;
+  double max_feature_ratio = 0.5;
+  std::vector<float> parameters;
+};
+
+// Snapshot of a trained FEAT/PA-FEAT agent.
+AgentCheckpoint MakeCheckpoint(const Feat& feat);
+
+// Binary (de)serialization. Save returns false on I/O failure.
+bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
+                    const std::string& path);
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path);
+
+// Serving-side selector restored from a checkpoint: no problem, classifiers
+// or replay state — just the network and the greedy execution path.
+class CheckpointedSelector {
+ public:
+  // Dies (PF_CHECK) on an internally inconsistent checkpoint; prefer
+  // FromFile which surfaces I/O and corruption as nullopt.
+  explicit CheckpointedSelector(const AgentCheckpoint& checkpoint);
+
+  static std::optional<CheckpointedSelector> FromFile(
+      const std::string& path);
+
+  // Greedy subset for an unseen task's representation.
+  FeatureMask SelectForRepresentation(
+      const std::vector<float>& representation) const;
+
+  int num_features() const { return (net_->config().input_dim - 3) / 2; }
+  double max_feature_ratio() const { return max_feature_ratio_; }
+
+ private:
+  std::unique_ptr<DuelingNet> net_;
+  double max_feature_ratio_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_CHECKPOINT_H_

@@ -1,0 +1,38 @@
+#include "core/defaults.h"
+
+namespace pafeat {
+
+FsProblemConfig DefaultProblemConfig(bool fast) {
+  FsProblemConfig config;
+  config.train_fraction = 0.7;
+  config.classifier.hidden_dims = {32};
+  config.classifier.epochs = fast ? 6 : 12;
+  config.classifier.batch_size = 64;
+  config.classifier.learning_rate = 2e-3f;
+  config.classifier.min_keep = 0.1;  // cover small subsets in training
+  config.reward_eval_rows = fast ? 64 : 128;
+  config.classifier_train_rows_cap = fast ? 600 : 2000;
+  return config;
+}
+
+FeatBasedOptions DefaultFeatOptions(int train_iterations, uint64_t seed) {
+  FeatBasedOptions options;
+  options.train_iterations = train_iterations;
+  options.feat.envs_per_iteration = 4;
+  options.feat.updates_per_task = 2;
+  options.feat.batch_size = 32;
+  options.feat.replay_capacity = 4096;
+  options.feat.seed = seed;
+  options.feat.dqn.net.trunk_hidden = {64, 64};
+  options.feat.dqn.gamma = 0.95f;
+  options.feat.dqn.learning_rate = 2e-3f;
+  options.feat.dqn.target_sync_every = 50;
+  options.feat.dqn.epsilon_start = 1.0f;
+  options.feat.dqn.epsilon_end = 0.05f;
+  // Reach the final epsilon about half way through training (gradient steps
+  // per iteration ~= updates_per_task x number of seen tasks).
+  options.feat.dqn.epsilon_decay_steps = train_iterations * 2;
+  return options;
+}
+
+}  // namespace pafeat

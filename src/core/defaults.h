@@ -1,0 +1,21 @@
+#ifndef PAFEAT_CORE_DEFAULTS_H_
+#define PAFEAT_CORE_DEFAULTS_H_
+
+#include "baselines/feat_based.h"
+#include "core/problem.h"
+
+namespace pafeat {
+
+// Default knobs shared by the examples, tests and bench binaries so that
+// every entry point trains comparable models. `fast` trades convergence for
+// wall time (used by tests and quick bench runs).
+FsProblemConfig DefaultProblemConfig(bool fast = false);
+
+// FEAT training options; `train_iterations` is the paper's 2,000 by default
+// scaled down to something a CPU finishes in seconds — pass a larger value
+// for a serious run.
+FeatBasedOptions DefaultFeatOptions(int train_iterations, uint64_t seed);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_DEFAULTS_H_

@@ -1,0 +1,67 @@
+#ifndef PAFEAT_CORE_EXPERIMENT_H_
+#define PAFEAT_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "data/feature_mask.h"
+
+namespace pafeat {
+
+// Downstream quality of one selected subset on one task (§IV-A3): a linear
+// SVM is trained on the training split restricted to the subset and scored
+// on the held-out test split.
+struct DownstreamScore {
+  double f1 = 0.0;
+  double auc = 0.0;
+};
+
+DownstreamScore EvaluateSubsetDownstream(FsProblem* problem, int label_index,
+                                         const FeatureMask& mask,
+                                         uint64_t seed);
+
+// The uniform interface every compared method implements. A method is
+// prepared once per (problem, seen tasks, mfr) — training for the FEAT-based
+// methods, a no-op for query-time methods — then asked for one subset per
+// unseen task. `execution_seconds` must cover exactly the per-unseen-task
+// work (the paper's "Exec" column).
+class FeatureSelector {
+ public:
+  virtual ~FeatureSelector() = default;
+
+  virtual std::string name() const = 0;
+
+  // Offline phase before any unseen task arrives. Returns the mean
+  // *training iteration* seconds for iterative methods (Table II "Iter"),
+  // 0 for methods with no training phase.
+  virtual double Prepare(FsProblem* problem, const std::vector<int>& seen,
+                         double max_feature_ratio) = 0;
+
+  virtual FeatureMask SelectForUnseen(FsProblem* problem,
+                                      int unseen_label_index,
+                                      double* execution_seconds) = 0;
+};
+
+// Result of running one method over all unseen tasks of a problem.
+struct MethodEvaluation {
+  std::string method;
+  double avg_f1 = 0.0;
+  double avg_auc = 0.0;
+  double avg_execution_seconds = 0.0;
+  double mean_iteration_seconds = 0.0;
+  std::vector<FeatureMask> masks;  // per unseen task
+};
+
+// Prepares the selector and evaluates it on every unseen task, averaging the
+// downstream metrics (the paper's Avg F1-score / Avg AUC).
+MethodEvaluation EvaluateMethod(FsProblem* problem,
+                                const std::vector<int>& seen,
+                                const std::vector<int>& unseen,
+                                double max_feature_ratio,
+                                FeatureSelector* selector, uint64_t seed);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_EXPERIMENT_H_

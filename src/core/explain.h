@@ -1,0 +1,37 @@
+#ifndef PAFEAT_CORE_EXPLAIN_H_
+#define PAFEAT_CORE_EXPLAIN_H_
+
+#include <vector>
+
+#include "data/feature_mask.h"
+#include "nn/dueling_net.h"
+
+namespace pafeat {
+
+// Interpretability companion to the greedy execution path: for each feature,
+// the Q-advantage of selecting it at its scan position,
+//   gap(f) = Q(s_f, select) - Q(s_f, deselect),
+// evaluated along the same greedy trajectory that SelectFeatures walks. A
+// positive gap is exactly the condition under which the policy selects, so
+// the gaps are a faithful per-feature account of the decision — useful for
+// analysts auditing why a feature made (or missed) the cut.
+struct FeatureDecision {
+  int feature = 0;
+  float q_gap = 0.0f;      // select-minus-deselect advantage
+  bool selected = false;   // the policy's actual decision under the budget
+};
+
+// Replays the greedy episode and records every decision. Mirrors
+// GreedySelectSubset: same budget rule, same observation layout (but no
+// empty-subset fallback — decisions are reported raw).
+std::vector<FeatureDecision> ExplainSelection(
+    const DuelingNet& net, const std::vector<float>& representation,
+    double max_feature_ratio);
+
+// Decisions sorted by descending q_gap (the analyst's ranking view).
+std::vector<FeatureDecision> RankedDecisions(
+    const std::vector<FeatureDecision>& decisions);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_EXPLAIN_H_

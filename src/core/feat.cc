@@ -1,0 +1,276 @@
+#include "core/feat.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/greedy_policy.h"
+#include "core/its.h"
+
+namespace pafeat {
+
+double SeenTaskRuntime::AverageRecentReturn() const {
+  if (recent_returns.empty()) return 0.0;
+  double total = 0.0;
+  for (double r : recent_returns) total += r;
+  return total / recent_returns.size();
+}
+
+std::vector<FeatureMask> SeenTaskRuntime::RecentMasks(int count) const {
+  std::vector<FeatureMask> masks;
+  for (const Trajectory* trajectory : buffer->RecentTrajectories(count)) {
+    masks.push_back(trajectory->FinalMask());
+  }
+  return masks;
+}
+
+std::vector<double> UniformScheduler::Probabilities(
+    const std::vector<SeenTaskRuntime>& tasks) {
+  return std::vector<double>(tasks.size(), 1.0 / tasks.size());
+}
+
+std::vector<double> ItsScheduler::Probabilities(
+    const std::vector<SeenTaskRuntime>& tasks) {
+  std::vector<TaskProgress> progress;
+  progress.reserve(tasks.size());
+  for (const SeenTaskRuntime& task : tasks) {
+    progress.push_back(ComputeTaskProgress(task.RecentMasks(recent_n_),
+                                           *task.context->evaluator,
+                                           task.context->full_feature_reward));
+  }
+  return ScheduleProbabilities(progress, temperature_, min_share_of_uniform_);
+}
+
+Feat::Feat(FsProblem* problem, std::vector<int> seen_label_indices,
+           const FeatConfig& config)
+    : problem_(problem), config_(config), rng_(config.seed) {
+  PF_CHECK(problem != nullptr);
+  PF_CHECK(!seen_label_indices.empty());
+
+  for (int label_index : seen_label_indices) AddTask(label_index);
+
+  DqnConfig dqn = config_.dqn;
+  dqn.net.input_dim = tasks_.front().env->observation_dim();
+  dqn.net.num_actions = kNumActions;
+  Rng agent_rng = rng_.Fork(0xa6e17);
+  agent_ = std::make_unique<DqnAgent>(dqn, &agent_rng);
+
+  scheduler_ = std::make_unique<UniformScheduler>();
+}
+
+int Feat::AddTask(int label_index) {
+  const TaskContext& context = problem_->Task(label_index);
+  SeenTaskRuntime runtime;
+  runtime.label_index = label_index;
+  runtime.context = &context;
+  runtime.env = std::make_unique<FeatureSelectionEnv>(
+      context.representation, context.evaluator.get(),
+      config_.max_feature_ratio, config_.reward_mode);
+  runtime.buffer = std::make_unique<ReplayBuffer>(config_.replay_capacity);
+  tasks_.push_back(std::move(runtime));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void Feat::SetScheduler(std::unique_ptr<TaskScheduler> scheduler) {
+  PF_CHECK(scheduler != nullptr);
+  scheduler_ = std::move(scheduler);
+}
+
+void Feat::SetInitialStateProvider(
+    std::unique_ptr<InitialStateProvider> provider) {
+  state_provider_ = std::move(provider);
+}
+
+void Feat::SetRewardShaper(std::unique_ptr<RewardShaper> shaper) {
+  reward_shaper_ = std::move(shaper);
+}
+
+Trajectory Feat::RunEpisode(const EpisodePlan& plan,
+                            std::vector<int>* full_actions) {
+  // Episodes run on a private environment copy (cheap: a representation
+  // vector plus state) so that concurrent episodes on the same task do not
+  // interfere; the reward cache behind the evaluator is shared and locked.
+  FeatureSelectionEnv env = *tasks_[plan.slot].env;
+  Rng rng = plan.rng;
+
+  bool random_policy = false;
+  full_actions->clear();
+  if (plan.start.has_value()) {
+    env.ResetTo(plan.start->state);
+    if (env.Done()) {
+      env.Reset();  // degenerate customized state; fall back to default
+    } else {
+      *full_actions = plan.start->prefix;
+      random_policy = plan.start->random_policy;
+    }
+  } else {
+    env.Reset();
+  }
+
+  Trajectory trajectory;
+  while (!env.Done()) {
+    const std::vector<float> observation = env.Observation();
+    const int action = random_policy
+                           ? rng.UniformInt(kNumActions)
+                           : agent_->Act(observation, &rng, /*greedy=*/false);
+    Transition transition;
+    transition.state = env.state();
+    transition.action = action;
+    const double raw_reward = env.Step(action);
+    transition.reward = static_cast<float>(
+        reward_shaper_ != nullptr
+            ? reward_shaper_->Shape(raw_reward, plan.slot, plan.shaper_context,
+                                    &rng)
+            : raw_reward);
+    transition.next_state = env.state();
+    transition.done = env.Done();
+    trajectory.transitions.push_back(std::move(transition));
+    full_actions->push_back(action);
+  }
+  // The E-Tree, the ITS and the difficulty diagnostics consume the final
+  // subset's true performance, regardless of reward mode or shaping.
+  trajectory.episode_return = env.current_performance();
+  return trajectory;
+}
+
+std::vector<BatchItem> Feat::BuildBatch(int slot, int count) {
+  SeenTaskRuntime& task = tasks_[slot];
+  const std::vector<const Transition*> sampled =
+      task.buffer->SampleTransitions(count, &rng_);
+  std::vector<BatchItem> batch;
+  batch.reserve(sampled.size());
+  for (const Transition* transition : sampled) {
+    BatchItem item;
+    item.observation = task.env->ObservationFor(transition->state);
+    item.action = transition->action;
+    item.reward = transition->reward;
+    item.next_observation = task.env->ObservationFor(transition->next_state);
+    item.done = transition->done;
+    item.task_id = slot;
+    batch.push_back(std::move(item));
+  }
+  return batch;
+}
+
+IterationStats Feat::RunIteration() {
+  WallTimer timer;
+  IterationStats stats;
+
+  // --- Buffer Filling Phase (Algorithm 1 lines 4-18) ---
+  if (focus_slot_ >= 0) {
+    PF_CHECK_LT(focus_slot_, num_tasks());
+    last_probabilities_.assign(tasks_.size(), 0.0);
+    last_probabilities_[focus_slot_] = 1.0;
+  } else {
+    last_probabilities_ = scheduler_->Probabilities(tasks_);
+  }
+  PF_CHECK_EQ(last_probabilities_.size(), tasks_.size());
+  stats.task_probabilities = last_probabilities_;
+
+  // Plan all N episodes on this thread (task choice, customized initial
+  // state, per-episode RNG, reward-shaper context), then execute them —
+  // possibly on worker threads — and commit the results in plan order.
+  // This keeps runs bit-identical for a fixed seed at any thread count.
+  const int num_episodes = config_.envs_per_iteration;
+  std::vector<EpisodePlan> plans(num_episodes);
+  for (int i = 0; i < num_episodes; ++i) {
+    EpisodePlan& plan = plans[i];
+    plan.slot = rng_.SampleDiscrete(last_probabilities_);
+    if (state_provider_ != nullptr) {
+      plan.start = state_provider_->Propose(plan.slot, tasks_[plan.slot],
+                                            &rng_);
+    }
+    if (reward_shaper_ != nullptr) {
+      plan.shaper_context = reward_shaper_->BeginEpisode(plan.slot, &rng_);
+    }
+    plan.rng = rng_.Fork(static_cast<uint64_t>(i) + 1);
+  }
+
+  std::vector<Trajectory> trajectories(num_episodes);
+  std::vector<std::vector<int>> episode_actions(num_episodes);
+  const int num_threads =
+      std::max(1, std::min(config_.num_threads, num_episodes));
+  if (num_threads == 1) {
+    for (int i = 0; i < num_episodes; ++i) {
+      trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
+    }
+  } else {
+    std::vector<std::thread> workers;
+    std::atomic<int> next_episode{0};
+    workers.reserve(num_threads);
+    for (int w = 0; w < num_threads; ++w) {
+      workers.emplace_back([&]() {
+        while (true) {
+          const int i = next_episode.fetch_add(1);
+          if (i >= num_episodes) return;
+          trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  for (int i = 0; i < num_episodes; ++i) {
+    Trajectory& trajectory = trajectories[i];
+    if (trajectory.transitions.empty()) continue;
+    const int slot = plans[i].slot;
+    const double episode_return = trajectory.episode_return;
+    if (state_provider_ != nullptr) {
+      state_provider_->OnTrajectory(slot, episode_actions[i], episode_return);
+    }
+    SeenTaskRuntime& task = tasks_[slot];
+    task.buffer->AddTrajectory(std::move(trajectory));
+    task.recent_returns.push_back(episode_return);
+    while (static_cast<int>(task.recent_returns.size()) >
+           config_.recent_returns_window) {
+      task.recent_returns.pop_front();
+    }
+    ++stats.episodes;
+  }
+
+  // --- Parameter Updating Phase (Algorithm 1 lines 19-21) ---
+  double loss_total = 0.0;
+  int loss_count = 0;
+  for (int slot = 0; slot < num_tasks(); ++slot) {
+    if (tasks_[slot].buffer->empty()) continue;
+    for (int k = 0; k < config_.updates_per_task; ++k) {
+      const std::vector<BatchItem> batch =
+          BuildBatch(slot, config_.batch_size);
+      loss_total += agent_->TrainBatch(batch);
+      ++loss_count;
+    }
+  }
+  stats.mean_loss = loss_count > 0 ? loss_total / loss_count : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+double Feat::Train(int iterations) {
+  PF_CHECK_GT(iterations, 0);
+  double total_seconds = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    total_seconds += RunIteration().seconds;
+  }
+  return total_seconds / iterations;
+}
+
+FeatureMask Feat::SelectForRepresentation(
+    const std::vector<float>& repr) const {
+  // Greedy Q-network episode on a virtual environment: no rewards are
+  // computed (execution must not touch a classifier).
+  return GreedySelectSubset(agent_->online_net(), repr,
+                            config_.max_feature_ratio);
+}
+
+FeatureMask Feat::SelectForTask(int label_index, double* execution_seconds) {
+  WallTimer timer;
+  const std::vector<float> repr =
+      problem_->ComputeTaskRepresentation(label_index);
+  const FeatureMask mask = SelectForRepresentation(repr);
+  if (execution_seconds != nullptr) *execution_seconds = timer.ElapsedSeconds();
+  return mask;
+}
+
+}  // namespace pafeat

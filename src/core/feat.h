@@ -1,0 +1,201 @@
+#ifndef PAFEAT_CORE_FEAT_H_
+#define PAFEAT_CORE_FEAT_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/problem.h"
+#include "rl/dqn_agent.h"
+#include "rl/fs_env.h"
+#include "rl/replay_buffer.h"
+
+namespace pafeat {
+
+// Configuration of the FEAT multi-task DRL framework (Algorithm 1).
+struct FeatConfig {
+  int envs_per_iteration = 4;    // N parallel resources per iteration
+  int updates_per_task = 1;      // K optimization passes per task
+  int batch_size = 32;           // M
+  double max_feature_ratio = 0.5;  // mfr (Algorithm 1 line 10)
+  RewardMode reward_mode = RewardMode::kDelta;
+  int replay_capacity = 4096;    // transitions per task buffer B^k
+  // Worker threads for the buffer-filling phase (the paper's N parallel
+  // environments / "Resources"). Results are deterministic for a fixed
+  // seed regardless of the thread count: episodes are planned sequentially
+  // (task choice, initial state, per-episode RNG) and committed in order.
+  int num_threads = 1;
+  int recent_returns_window = 32;
+  DqnConfig dqn;                 // dqn.net.input_dim is filled automatically
+  uint64_t seed = 7;
+};
+
+// Per-seen-task training state: the environment, the replay buffer B^k and
+// rolling statistics. Owned by Feat; hooks receive const references.
+struct SeenTaskRuntime {
+  int label_index = 0;
+  const TaskContext* context = nullptr;
+  std::unique_ptr<FeatureSelectionEnv> env;
+  std::unique_ptr<ReplayBuffer> buffer;
+  std::deque<double> recent_returns;
+
+  double AverageRecentReturn() const;
+  // Feature subsets mapped from the most recent trajectories (ITS Eqn 4a).
+  std::vector<FeatureMask> RecentMasks(int count) const;
+};
+
+// Hook: allocates the per-task selection probabilities each iteration
+// (Algorithm 1 line 5). The default is the uniform choice of plain FEAT;
+// PA-FEAT installs the ITS.
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+  virtual std::vector<double> Probabilities(
+      const std::vector<SeenTaskRuntime>& tasks) = 0;
+};
+
+class UniformScheduler : public TaskScheduler {
+ public:
+  std::vector<double> Probabilities(
+      const std::vector<SeenTaskRuntime>& tasks) override;
+};
+
+// ITS as a scheduler hook (paper §III-C).
+class ItsScheduler : public TaskScheduler {
+ public:
+  explicit ItsScheduler(int recent_n, double temperature = 0.2,
+                        double min_share_of_uniform = 0.5)
+      : recent_n_(recent_n),
+        temperature_(temperature),
+        min_share_of_uniform_(min_share_of_uniform) {}
+  std::vector<double> Probabilities(
+      const std::vector<SeenTaskRuntime>& tasks) override;
+
+ private:
+  int recent_n_;
+  double temperature_;
+  double min_share_of_uniform_;
+};
+
+// Hook: customizes the initial state of an episode (Algorithm 1 line 6 /
+// §III-D). Returning nullopt keeps the default initial state.
+struct EpisodeStart {
+  EnvState state;
+  std::vector<int> prefix;    // decisions from the root leading to `state`
+  bool random_policy = false; // roll out with a random policy (Go-Explore,
+                              // and the w/o-PE ablation)
+};
+
+class InitialStateProvider {
+ public:
+  virtual ~InitialStateProvider() = default;
+  virtual std::optional<EpisodeStart> Propose(int task_slot,
+                                              const SeenTaskRuntime& task,
+                                              Rng* rng) = 0;
+  // Called after every episode with the full decision path from the root.
+  virtual void OnTrajectory(int task_slot, const std::vector<int>& actions,
+                            double episode_return) = 0;
+};
+
+// Hook: transforms the reward stored for training (Reward Randomization).
+// The untransformed reward still drives episode returns, the E-Tree and the
+// ITS, so diagnostics always see true subset performance.
+//
+// BeginEpisode runs on the scheduling thread and returns an episode context
+// value handed back to every Shape call of that episode; Shape must be
+// thread-safe (episodes run concurrently under num_threads > 1).
+class RewardShaper {
+ public:
+  virtual ~RewardShaper() = default;
+  virtual double BeginEpisode(int task_slot, Rng* rng) = 0;
+  virtual double Shape(double reward, int task_slot, double context,
+                       Rng* rng) = 0;
+};
+
+struct IterationStats {
+  double seconds = 0.0;
+  double mean_loss = 0.0;
+  int episodes = 0;
+  std::vector<double> task_probabilities;
+};
+
+// The FEAT framework (paper §III-B, Algorithm 1): one global Dueling-DQN
+// agent trained from per-task replay buffers filled by episodes on the seen
+// tasks' environments. PA-FEAT and the FEAT-based baselines (PopArt,
+// Go-Explore, RR) are this class with different hooks installed.
+class Feat {
+ public:
+  Feat(FsProblem* problem, std::vector<int> seen_label_indices,
+       const FeatConfig& config);
+
+  Feat(const Feat&) = delete;
+  Feat& operator=(const Feat&) = delete;
+
+  void SetScheduler(std::unique_ptr<TaskScheduler> scheduler);
+  void SetInitialStateProvider(std::unique_ptr<InitialStateProvider> provider);
+  void SetRewardShaper(std::unique_ptr<RewardShaper> shaper);
+
+  // One Algorithm-1 iteration: a buffer-filling phase of N episodes followed
+  // by the parameter-updating phase.
+  IterationStats RunIteration();
+
+  // Runs `iterations` iterations; returns the mean iteration wall time.
+  double Train(int iterations);
+
+  // Fast feature selection for an unseen task (Algorithm 1 lines 22-24):
+  // computes the task representation and executes one greedy episode. The
+  // wall time of exactly this path is the paper's "execution time".
+  FeatureMask SelectForTask(int label_index, double* execution_seconds);
+
+  // Greedy episode for an already-computed representation (no reward calls).
+  FeatureMask SelectForRepresentation(const std::vector<float>& repr) const;
+
+  // Adds a task (typically unseen, now labeled) to the training set for the
+  // further-training mode of §IV-D. Returns its runtime slot.
+  int AddTask(int label_index);
+
+  // Focuses all episode sampling on one task slot (the further-training mode
+  // interacts only with the unseen task's environment); -1 restores the
+  // scheduler. Parameter updates still draw from every non-empty buffer.
+  void SetFocusTask(int slot) { focus_slot_ = slot; }
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const SeenTaskRuntime& task_runtime(int slot) const { return tasks_[slot]; }
+  const DqnAgent& agent() const { return *agent_; }
+  DqnAgent& agent() { return *agent_; }
+  const FeatConfig& config() const { return config_; }
+  FsProblem& problem() { return *problem_; }
+  const std::vector<double>& last_probabilities() const {
+    return last_probabilities_;
+  }
+
+ private:
+  // One planned unit of the buffer-filling phase.
+  struct EpisodePlan {
+    int slot = 0;
+    std::optional<EpisodeStart> start;
+    double shaper_context = 1.0;
+    Rng rng{0};
+  };
+
+  Trajectory RunEpisode(const EpisodePlan& plan,
+                        std::vector<int>* full_actions);
+  std::vector<BatchItem> BuildBatch(int slot, int count);
+
+  FsProblem* problem_;
+  FeatConfig config_;
+  Rng rng_;
+  std::vector<SeenTaskRuntime> tasks_;
+  std::unique_ptr<DqnAgent> agent_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<InitialStateProvider> state_provider_;
+  std::unique_ptr<RewardShaper> reward_shaper_;
+  std::vector<double> last_probabilities_;
+  int focus_slot_ = -1;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_FEAT_H_

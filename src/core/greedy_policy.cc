@@ -1,0 +1,47 @@
+#include "core/greedy_policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rl/fs_env.h"
+
+namespace pafeat {
+
+FeatureMask GreedySelectSubset(const DuelingNet& net,
+                               const std::vector<float>& representation,
+                               double max_feature_ratio) {
+  const int m = static_cast<int>(representation.size());
+  PF_CHECK_GT(m, 0);
+  PF_CHECK_EQ(net.config().input_dim, 2 * m + 3);
+  PF_CHECK_GT(max_feature_ratio, 0.0);
+  const int max_selectable =
+      std::max(1, static_cast<int>(max_feature_ratio * m));
+
+  std::vector<float> observation(2 * m + 3, 0.0f);
+  std::copy(representation.begin(), representation.end(),
+            observation.begin());
+  FeatureMask mask(m, 0);
+  int selected = 0;
+  for (int position = 0; position < m && selected < max_selectable;
+       ++position) {
+    observation[2 * m] = static_cast<float>(position) / m;
+    observation[2 * m + 1] = representation[position];
+    observation[2 * m + 2] = static_cast<float>(selected) / m;
+    const Matrix q = net.Predict(Matrix::RowVector(observation));
+    if (q.At(0, kActionSelect) > q.At(0, kActionDeselect)) {
+      mask[position] = 1;
+      observation[m + position] = 1.0f;
+      ++selected;
+    }
+  }
+  if (selected == 0) {
+    int best = 0;
+    for (int f = 1; f < m; ++f) {
+      if (representation[f] > representation[best]) best = f;
+    }
+    mask[best] = 1;
+  }
+  return mask;
+}
+
+}  // namespace pafeat

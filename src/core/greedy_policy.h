@@ -1,0 +1,25 @@
+#ifndef PAFEAT_CORE_GREEDY_POLICY_H_
+#define PAFEAT_CORE_GREEDY_POLICY_H_
+
+#include <vector>
+
+#include "data/feature_mask.h"
+#include "nn/dueling_net.h"
+
+namespace pafeat {
+
+// The unseen-task execution path shared by the live trainer and restored
+// checkpoints (Algorithm 1 lines 22-24): one greedy scan of the Q-network
+// over the task representation, bounded by the max feature ratio. If the
+// greedy pass selects nothing, falls back to the single most task-relevant
+// feature (a usable selector never returns the empty subset).
+//
+// The network's input must be laid out as the FeatureSelectionEnv
+// observation: [task_repr(m) | mask(m) | pos/m | repr[pos] | selected/m].
+FeatureMask GreedySelectSubset(const DuelingNet& net,
+                               const std::vector<float>& representation,
+                               double max_feature_ratio);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_GREEDY_POLICY_H_

@@ -1,0 +1,51 @@
+#include "core/ite.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+IntraTaskExplorer::IntraTaskExplorer(int num_tasks, int num_features,
+                                     const IteConfig& config)
+    : config_(config), num_features_(num_features) {
+  PF_CHECK_GT(num_tasks, 0);
+  PF_CHECK_GT(num_features, 0);
+  for (int i = 0; i < num_tasks; ++i) {
+    trees_.push_back(std::make_unique<ETree>(num_features));
+  }
+}
+
+void IntraTaskExplorer::EnsureTask(int task_slot) {
+  while (task_slot >= static_cast<int>(trees_.size())) {
+    trees_.push_back(std::make_unique<ETree>(num_features_));
+  }
+}
+
+std::optional<EpisodeStart> IntraTaskExplorer::Propose(
+    int task_slot, const SeenTaskRuntime& task, Rng* rng) {
+  (void)task;
+  EnsureTask(task_slot);
+  const ETree& tree = *trees_[task_slot];
+  if (tree.empty()) return std::nullopt;
+  if (!rng->Bernoulli(config_.use_probability)) return std::nullopt;
+
+  // UCT descent (Eqn 9); cap the depth so the restored state leaves at
+  // least one decision to make.
+  std::vector<int> prefix =
+      tree.SelectPrefix(config_.exploration_constant, num_features_ - 1);
+  if (prefix.empty()) return std::nullopt;
+
+  EpisodeStart start;
+  start.state = tree.PrefixToState(prefix);
+  start.prefix = std::move(prefix);
+  start.random_policy = !config_.policy_exploitation;
+  return start;
+}
+
+void IntraTaskExplorer::OnTrajectory(int task_slot,
+                                     const std::vector<int>& actions,
+                                     double episode_return) {
+  EnsureTask(task_slot);
+  trees_[task_slot]->AddTrajectory(actions, episode_return);
+}
+
+}  // namespace pafeat

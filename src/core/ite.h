@@ -1,0 +1,52 @@
+#ifndef PAFEAT_CORE_ITE_H_
+#define PAFEAT_CORE_ITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/etree.h"
+#include "core/feat.h"
+
+namespace pafeat {
+
+struct IteConfig {
+  // c_e of Eqn 9: the UCT exploration constant.
+  double exploration_constant = 2.0;
+  // Fraction of episodes whose initial state the ITE customizes (the rest
+  // start from the default initial state, keeping the root policy trained).
+  double use_probability = 0.3;
+  // PE: roll out from the customized state with the learned policy. The
+  // "w/o PE" ablation (Table III) sets this false, building the E-Tree from
+  // random rollouts instead.
+  bool policy_exploitation = true;
+};
+
+// Intra-Task Explorer (paper §III-D): one Experience-Tree per seen task,
+// fed by every trajectory, queried at episode start for the most exploratory
+// visited state (Eqn 9's UCT descent).
+class IntraTaskExplorer : public InitialStateProvider {
+ public:
+  IntraTaskExplorer(int num_tasks, int num_features, const IteConfig& config);
+
+  std::optional<EpisodeStart> Propose(int task_slot,
+                                      const SeenTaskRuntime& task,
+                                      Rng* rng) override;
+
+  void OnTrajectory(int task_slot, const std::vector<int>& actions,
+                    double episode_return) override;
+
+  // Grows the per-task tree list when tasks are added (further training).
+  void EnsureTask(int task_slot);
+
+  const ETree& tree(int task_slot) const { return *trees_[task_slot]; }
+  const IteConfig& config() const { return config_; }
+
+ private:
+  IteConfig config_;
+  int num_features_;
+  std::vector<std::unique_ptr<ETree>> trees_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_ITE_H_

@@ -1,0 +1,106 @@
+#include "core/its.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+TaskProgress ComputeTaskProgress(const std::vector<FeatureMask>& recent_masks,
+                                 const SubsetEvaluator& evaluator,
+                                 double full_feature_reward) {
+  TaskProgress progress;
+  if (recent_masks.empty()) {
+    // No experience yet: maximum learning need.
+    progress.distance_ratio = 1.0;
+    progress.uncertainty = 1.0;
+    return progress;
+  }
+
+  // dist module: P_avg over the recent subsets (rewards are cached, so this
+  // re-reads numbers the training loop already paid for).
+  double average_reward = 0.0;
+  for (const FeatureMask& mask : recent_masks) {
+    average_reward += evaluator.Reward(mask);
+  }
+  average_reward /= recent_masks.size();
+  const double p_all = std::max(full_feature_reward, 1e-6);
+  progress.distance_ratio = (p_all - average_reward) / p_all;
+
+  // uncertainty module: selection frequency p(i) per feature.
+  const int m = static_cast<int>(recent_masks.front().size());
+  std::vector<double> selection_freq(m, 0.0);
+  for (const FeatureMask& mask : recent_masks) {
+    PF_CHECK_EQ(static_cast<int>(mask.size()), m);
+    for (int i = 0; i < m; ++i) {
+      if (mask[i]) selection_freq[i] += 1.0;
+    }
+  }
+  double stability = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const double p = selection_freq[i] / recent_masks.size();
+    stability += std::abs(0.5 - p);
+  }
+  progress.uncertainty = 1.0 - stability / m;
+  return progress;
+}
+
+std::vector<double> ScheduleProbabilities(
+    const std::vector<TaskProgress>& progress, double temperature,
+    double min_share_of_uniform) {
+  const int n = static_cast<int>(progress.size());
+  PF_CHECK_GT(n, 0);
+  PF_CHECK_GT(temperature, 0.0);
+  PF_CHECK_GE(min_share_of_uniform, 0.0);
+  PF_CHECK_LE(min_share_of_uniform, 1.0);
+  if (n == 1) return {1.0};
+
+  // Normalize each score by its sum across tasks (Eqn 8a). Distance ratios
+  // can be negative (subsets already beat the full set), so normalize by the
+  // sum of clamped-positive values; a degenerate all-zero sum falls back to
+  // a uniform contribution.
+  double zeta_sum = 0.0;
+  double xi_sum = 0.0;
+  for (const TaskProgress& p : progress) {
+    zeta_sum += std::max(p.distance_ratio, 0.0);
+    xi_sum += std::max(p.uncertainty, 0.0);
+  }
+
+  std::vector<double> blended(n);
+  for (int k = 0; k < n; ++k) {
+    const double zeta_norm =
+        zeta_sum > 1e-12 ? std::max(progress[k].distance_ratio, 0.0) / zeta_sum
+                         : 1.0 / n;
+    const double xi_norm =
+        xi_sum > 1e-12 ? std::max(progress[k].uncertainty, 0.0) / xi_sum
+                       : 1.0 / n;
+    blended[k] = zeta_norm + xi_norm;  // d_k (Eqn 8a)
+  }
+
+  // softmax(D) (Eqn 8c) at the configured temperature.
+  double max_blend = blended[0];
+  for (double d : blended) max_blend = std::max(max_blend, d);
+  std::vector<double> probabilities(n);
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    probabilities[k] = std::exp((blended[k] - max_blend) / temperature);
+    total += probabilities[k];
+  }
+  for (double& p : probabilities) p /= total;
+
+  // Balanced-learning floor: every task keeps at least
+  // min_share_of_uniform / n probability.
+  const double floor = min_share_of_uniform / n;
+  double excess_total = 0.0;
+  for (double p : probabilities) excess_total += std::max(p - floor, 0.0);
+  if (excess_total > 1e-12) {
+    const double distributable = 1.0 - n * floor;
+    for (double& p : probabilities) {
+      p = floor + std::max(p - floor, 0.0) / excess_total * distributable;
+    }
+  }
+  return probabilities;
+}
+
+}  // namespace pafeat

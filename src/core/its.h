@@ -1,0 +1,46 @@
+#ifndef PAFEAT_CORE_ITS_H_
+#define PAFEAT_CORE_ITS_H_
+
+#include <vector>
+
+#include "data/feature_mask.h"
+#include "ml/subset_evaluator.h"
+
+namespace pafeat {
+
+// Progress-related information of one seen task at scheduling time
+// (paper §III-C, Information Collecting Phase).
+struct TaskProgress {
+  double distance_ratio = 0.0;   // zeta (Definition 5, Eqn 6)
+  double uncertainty = 1.0;      // xi (Definition 6, Eqn 7)
+};
+
+// Computes one task's progress from the feature subsets mapped out of its
+// `recent` trajectories (Eqn 4a's load module output):
+//   zeta = (P_all - P_avg) / P_all          (Eqn 6)
+//   xi   = 1 - (1/m) sum_i |1/2 - p(i)|     (Eqn 7)
+// where P(.) is the task's cached subset reward and p(i) the fraction of the
+// recent subsets that select feature i.
+TaskProgress ComputeTaskProgress(const std::vector<FeatureMask>& recent_masks,
+                                 const SubsetEvaluator& evaluator,
+                                 double full_feature_reward);
+
+// Probability Determination Phase (Eqn 8): normalize the two scores across
+// tasks, sum them, softmax. Tasks with larger remaining headroom (distance
+// ratio) and less stable selections (uncertainty) receive more resources.
+//
+// `temperature` controls the softmax sharpness. The normalized scores sum
+// to 2 over all tasks, so with n tasks the per-task differences are O(1/n)
+// and a unit-temperature softmax would be nearly uniform; the default
+// sharpens the allocation enough for hard tasks to receive a visibly larger
+// share (the paper leaves the temperature unspecified).
+// `min_share_of_uniform` guarantees every task at least that fraction of
+// the uniform allocation (1/n), so needy tasks get more resources without
+// starving the rest — the "balanced learning" the ITS is for.
+std::vector<double> ScheduleProbabilities(
+    const std::vector<TaskProgress>& progress, double temperature = 0.2,
+    double min_share_of_uniform = 0.5);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_CORE_ITS_H_

@@ -1,0 +1,54 @@
+#include "core/pafeat.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+PaFeat::PaFeat(FsProblem* problem, std::vector<int> seen_label_indices,
+               const PaFeatConfig& config)
+    : config_(config) {
+  feat_ = std::make_unique<Feat>(problem, seen_label_indices, config.feat);
+  if (config.use_its) {
+    feat_->SetScheduler(std::make_unique<ItsScheduler>(
+        config.its_recent_n, config.its_temperature,
+        config.its_min_share_of_uniform));
+  }
+  if (config.use_ite) {
+    auto explorer = std::make_unique<IntraTaskExplorer>(
+        feat_->num_tasks(), problem->num_features(), config.ite);
+    explorer_ = explorer.get();
+    feat_->SetInitialStateProvider(std::move(explorer));
+  }
+}
+
+double PaFeat::Train(int iterations) { return feat_->Train(iterations); }
+
+FeatureMask PaFeat::SelectFeatures(int unseen_label_index,
+                                   double* execution_seconds) {
+  return feat_->SelectForTask(unseen_label_index, execution_seconds);
+}
+
+FeatureMask PaFeat::FurtherTrain(
+    int unseen_label_index, int iterations, int callback_every,
+    const std::function<void(int iteration, const FeatureMask&)>& callback) {
+  PF_CHECK_GT(iterations, 0);
+  // Initialize a DRL environment for the unseen task and continue training
+  // the (already generalized) agent on it (§IV-D). The new task gets its own
+  // buffer, E-Tree slot and scheduling share.
+  const int slot = feat_->AddTask(unseen_label_index);
+  if (explorer_ != nullptr) explorer_->EnsureTask(slot);
+  feat_->SetFocusTask(slot);
+
+  const std::vector<float>& repr =
+      feat_->task_runtime(slot).context->representation;
+  for (int i = 1; i <= iterations; ++i) {
+    feat_->RunIteration();
+    if (callback && callback_every > 0 &&
+        (i % callback_every == 0 || i == iterations)) {
+      callback(i, feat_->SelectForRepresentation(repr));
+    }
+  }
+  return feat_->SelectForRepresentation(repr);
+}
+
+}  // namespace pafeat

@@ -1,0 +1,56 @@
+#ifndef PAFEAT_DATA_ARFF_H_
+#define PAFEAT_DATA_ARFF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace pafeat {
+
+// Loader for the ARFF format used by the Mulan multi-label repository (the
+// source of six of the paper's eight datasets). When the real datasets are
+// available locally, this is the bridge from them to FsProblem.
+//
+// Supported subset of the format:
+//   @relation <name>
+//   @attribute <name> numeric|real|integer      -> feature column
+//   @attribute <name> {0,1} | {a,b,...}         -> nominal column
+//   @data
+//   v1,v2,...                                   -> dense rows
+//   {i v, j v, ...}                             -> sparse rows
+// Comments (%) and blank lines are ignored. Nominal {0,1} columns parse to
+// 0/1 floats; other nominals map to their value's index.
+//
+// Mulan convention: the label columns are listed in an accompanying XML
+// file; here the caller passes the label names (or a label count counted
+// from the end, as Mulan datasets append labels last).
+
+struct ArffDocument {
+  std::string relation;
+  std::vector<std::string> attribute_names;
+  // Per attribute: empty for numeric, else the nominal value list.
+  std::vector<std::vector<std::string>> nominal_values;
+  Matrix values;  // rows x attributes
+};
+
+// Parses ARFF text. Returns std::nullopt on malformed input (and logs why).
+std::optional<ArffDocument> ParseArff(const std::string& text);
+
+// Reads and parses an ARFF file.
+std::optional<ArffDocument> ReadArffFile(const std::string& path);
+
+// Splits a parsed document into a Table, treating the `label_names` columns
+// as dependent attributes and everything else as features. Returns
+// std::nullopt if any label name is missing.
+std::optional<Table> ArffToTable(const ArffDocument& document,
+                                 const std::vector<std::string>& label_names);
+
+// Mulan convention helper: the last `num_labels` attributes are the labels.
+std::optional<Table> ArffToTableLastLabels(const ArffDocument& document,
+                                           int num_labels);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_DATA_ARFF_H_

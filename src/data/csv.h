@@ -1,0 +1,22 @@
+#ifndef PAFEAT_DATA_CSV_H_
+#define PAFEAT_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "data/table.h"
+
+namespace pafeat {
+
+// Writes a table as CSV: header row of feature names followed by label names
+// (label columns prefixed "label:"), then one row per instance. Returns false
+// on I/O failure.
+bool WriteTableCsv(const Table& table, const std::string& path);
+
+// Reads a table written by WriteTableCsv (label columns are those whose
+// header starts with "label:"). Returns std::nullopt on I/O or parse errors.
+std::optional<Table> ReadTableCsv(const std::string& path);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_DATA_CSV_H_

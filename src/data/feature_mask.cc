@@ -1,0 +1,52 @@
+#include "data/feature_mask.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+int MaskCount(const FeatureMask& mask) {
+  int count = 0;
+  for (uint8_t bit : mask) count += bit ? 1 : 0;
+  return count;
+}
+
+std::vector<int> MaskToIndices(const FeatureMask& mask) {
+  std::vector<int> indices;
+  for (int i = 0; i < static_cast<int>(mask.size()); ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  return indices;
+}
+
+FeatureMask IndicesToMask(const std::vector<int>& indices, int num_features) {
+  FeatureMask mask(num_features, 0);
+  for (int i : indices) {
+    PF_CHECK_GE(i, 0);
+    PF_CHECK_LT(i, num_features);
+    mask[i] = 1;
+  }
+  return mask;
+}
+
+std::string MaskKey(const FeatureMask& mask) {
+  // Pack 8 mask bits per output byte.
+  std::string key((mask.size() + 7) / 8, '\0');
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) key[i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+  return key;
+}
+
+std::string MaskToString(const FeatureMask& mask) {
+  std::string out = "{";
+  bool first = true;
+  for (int i : MaskToIndices(mask)) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pafeat

@@ -1,0 +1,32 @@
+#ifndef PAFEAT_DATA_FEATURE_MASK_H_
+#define PAFEAT_DATA_FEATURE_MASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pafeat {
+
+// A feature subset as a dense 0/1 mask over the shared feature space.
+// This is the currency of the whole library: environments produce masks,
+// evaluators consume them, and baselines return them.
+using FeatureMask = std::vector<uint8_t>;
+
+// Number of selected features.
+int MaskCount(const FeatureMask& mask);
+
+// Selected feature indices in increasing order.
+std::vector<int> MaskToIndices(const FeatureMask& mask);
+
+// Mask of size `num_features` with the given indices set.
+FeatureMask IndicesToMask(const std::vector<int>& indices, int num_features);
+
+// Byte-string key for hash maps (the reward cache).
+std::string MaskKey(const FeatureMask& mask);
+
+// Human-readable form such as "{0, 3, 7}" for logs and tests.
+std::string MaskToString(const FeatureMask& mask);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_DATA_FEATURE_MASK_H_

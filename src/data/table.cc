@@ -1,0 +1,32 @@
+#include "data/table.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+Table::Table(Matrix features, Matrix labels,
+             std::vector<std::string> feature_names,
+             std::vector<std::string> label_names)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      feature_names_(std::move(feature_names)),
+      label_names_(std::move(label_names)) {
+  PF_CHECK_EQ(features_.rows(), labels_.rows());
+  PF_CHECK_EQ(static_cast<int>(feature_names_.size()), features_.cols());
+  PF_CHECK_EQ(static_cast<int>(label_names_.size()), labels_.cols());
+}
+
+std::vector<float> Table::LabelColumn(int label_index) const {
+  PF_CHECK_GE(label_index, 0);
+  PF_CHECK_LT(label_index, num_labels());
+  std::vector<float> column(num_rows());
+  for (int r = 0; r < num_rows(); ++r) column[r] = labels_.At(r, label_index);
+  return column;
+}
+
+Table Table::SelectRows(const std::vector<int>& rows) const {
+  return Table(features_.SelectRows(rows), labels_.SelectRows(rows),
+               feature_names_, label_names_);
+}
+
+}  // namespace pafeat

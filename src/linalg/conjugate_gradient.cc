@@ -1,0 +1,70 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+namespace {
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+CgResult ConjugateGradient(
+    const std::function<std::vector<float>(const std::vector<float>&)>& apply,
+    const std::vector<float>& b, std::vector<float>* x,
+    const CgOptions& options) {
+  PF_CHECK(x != nullptr);
+  PF_CHECK_EQ(x->size(), b.size());
+  const size_t n = b.size();
+
+  std::vector<float> r(n);
+  std::vector<float> ax = apply(*x);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+  std::vector<float> p = r;
+
+  const double b_norm = std::sqrt(Dot(b, b));
+  const double threshold =
+      options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  double rs_old = Dot(r, r);
+  CgResult result;
+  result.residual_norm = std::sqrt(rs_old);
+  if (result.residual_norm <= threshold) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<float> ap = apply(p);
+    const double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0) break;  // operator not SPD on this subspace; bail out
+    const double alpha = rs_old / p_ap;
+    for (size_t i = 0; i < n; ++i) {
+      (*x)[i] += static_cast<float>(alpha * p[i]);
+      r[i] -= static_cast<float>(alpha * ap[i]);
+    }
+    const double rs_new = Dot(r, r);
+    result.iterations = iter + 1;
+    result.residual_norm = std::sqrt(rs_new);
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      return result;
+    }
+    const double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + static_cast<float>(beta) * p[i];
+    }
+    rs_old = rs_new;
+  }
+  return result;
+}
+
+}  // namespace pafeat

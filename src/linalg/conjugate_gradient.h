@@ -1,0 +1,30 @@
+#ifndef PAFEAT_LINALG_CONJUGATE_GRADIENT_H_
+#define PAFEAT_LINALG_CONJUGATE_GRADIENT_H_
+
+#include <functional>
+#include <vector>
+
+namespace pafeat {
+
+struct CgOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-6;  // relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+// Solves A x = b for a symmetric positive (semi-)definite operator given only
+// matrix-vector products. `x` is used as the initial guess and receives the
+// solution. Needed by the MDFS baseline's regularized least-squares solve.
+CgResult ConjugateGradient(
+    const std::function<std::vector<float>(const std::vector<float>&)>& apply,
+    const std::vector<float>& b, std::vector<float>* x,
+    const CgOptions& options = CgOptions());
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_LINALG_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,78 @@
+#include "linalg/knn_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+SymmetricSparse BuildKnnLaplacian(const Matrix& points, int k, double sigma) {
+  const int n = points.rows();
+  const int d = points.cols();
+  PF_CHECK_GT(n, 1);
+  PF_CHECK_GT(k, 0);
+  PF_CHECK_LT(k, n);
+
+  // Exact O(n^2 d) neighbour search; the MDFS baseline runs it on subsampled
+  // data so the quadratic cost stays bounded.
+  std::vector<std::vector<std::pair<float, int>>> neighbours(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<float, int>> dists;
+    dists.reserve(n - 1);
+    const float* xi = points.Row(i);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float* xj = points.Row(j);
+      float d2 = 0.0f;
+      for (int c = 0; c < d; ++c) {
+        const float diff = xi[c] - xj[c];
+        d2 += diff * diff;
+      }
+      dists.emplace_back(d2, j);
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    dists.resize(k);
+    neighbours[i] = std::move(dists);
+  }
+
+  if (sigma <= 0.0) {
+    double mean_dist = 0.0;
+    int count = 0;
+    for (const auto& list : neighbours) {
+      for (const auto& [d2, j] : list) {
+        mean_dist += std::sqrt(static_cast<double>(d2));
+        ++count;
+      }
+    }
+    mean_dist /= std::max(count, 1);
+    sigma = std::max(mean_dist, 1e-8);
+  }
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+
+  // Symmetrize: keep an edge if either endpoint lists the other.
+  std::map<std::pair<int, int>, float> edges;
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [d2, j] : neighbours[i]) {
+      const auto key = std::minmax(i, j);
+      const float w =
+          static_cast<float>(std::exp(-static_cast<double>(d2) * inv_two_sigma2));
+      edges[{key.first, key.second}] = w;
+    }
+  }
+
+  SymmetricSparse laplacian(n);
+  std::vector<float> degree(n, 0.0f);
+  for (const auto& [key, w] : edges) {
+    laplacian.Add(key.first, key.second, -w);
+    degree[key.first] += w;
+    degree[key.second] += w;
+  }
+  for (int i = 0; i < n; ++i) laplacian.Add(i, i, degree[i]);
+  return laplacian;
+}
+
+}  // namespace pafeat

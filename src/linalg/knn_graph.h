@@ -1,0 +1,19 @@
+#ifndef PAFEAT_LINALG_KNN_GRAPH_H_
+#define PAFEAT_LINALG_KNN_GRAPH_H_
+
+#include "linalg/sparse.h"
+#include "tensor/matrix.h"
+
+namespace pafeat {
+
+// Builds the unnormalized graph Laplacian L = D - W of the symmetrized
+// k-nearest-neighbour graph over the rows of `points`, with heat-kernel
+// weights w_ij = exp(-||x_i - x_j||^2 / (2 sigma^2)).
+//
+// When sigma <= 0, sigma is set to the mean kNN distance (self-tuning).
+// Used by the MDFS baseline's manifold regularizer.
+SymmetricSparse BuildKnnLaplacian(const Matrix& points, int k, double sigma);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_LINALG_KNN_GRAPH_H_

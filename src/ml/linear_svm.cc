@@ -1,0 +1,72 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+LinearSvm::LinearSvm(const LinearSvmConfig& config) : config_(config) {}
+
+void LinearSvm::Fit(const Matrix& features, const std::vector<float>& labels,
+                    const std::vector<int>& rows,
+                    const std::vector<uint8_t>& mask, Rng* rng) {
+  PF_CHECK(!rows.empty());
+  const int m = features.cols();
+  if (!mask.empty()) {
+    PF_CHECK_EQ(static_cast<int>(mask.size()), m);
+  }
+  weights_.assign(m, 0.0f);
+  bias_ = 0.0f;
+
+  std::vector<int> active;
+  active.reserve(m);
+  for (int c = 0; c < m; ++c) {
+    if (mask.empty() || mask[c]) active.push_back(c);
+  }
+  if (active.empty()) return;  // empty subset -> constant classifier
+
+  // Pegasos: step size 1 / (lambda * t), hinge sub-gradient updates.
+  long long t = 0;
+  std::vector<int> order = rows;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (int r : order) {
+      ++t;
+      const float eta = 1.0f / (config_.lambda * t);
+      const float* row = features.Row(r);
+      const float y = labels[r] > 0.5f ? 1.0f : -1.0f;
+      float margin = bias_;
+      for (int c : active) margin += weights_[c] * row[c];
+      // Shrink (regularization applies to weights only, not bias).
+      const float shrink = 1.0f - eta * config_.lambda;
+      for (int c : active) weights_[c] *= shrink;
+      if (y * margin < 1.0f) {
+        for (int c : active) weights_[c] += eta * y * row[c];
+        bias_ += eta * y * 0.1f;  // damped bias update for stability
+      }
+    }
+  }
+}
+
+std::vector<float> LinearSvm::DecisionFunction(
+    const Matrix& features, const std::vector<int>& rows) const {
+  PF_CHECK_EQ(features.cols(), static_cast<int>(weights_.size()));
+  std::vector<float> margins(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* row = features.Row(rows[i]);
+    float z = bias_;
+    for (size_t c = 0; c < weights_.size(); ++c) z += weights_[c] * row[c];
+    margins[i] = z;
+  }
+  return margins;
+}
+
+std::vector<float> LinearSvm::PredictScores(
+    const Matrix& features, const std::vector<int>& rows) const {
+  std::vector<float> scores = DecisionFunction(features, rows);
+  for (float& s : scores) s = 1.0f / (1.0f + std::exp(-s));
+  return scores;
+}
+
+}  // namespace pafeat

@@ -1,0 +1,60 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+LogisticRegression::LogisticRegression(const LogisticRegressionConfig& config)
+    : config_(config) {}
+
+void LogisticRegression::Fit(const Matrix& features,
+                             const std::vector<float>& labels,
+                             const std::vector<int>& rows, Rng* rng) {
+  PF_CHECK(!rows.empty());
+  const int m = features.cols();
+  weights_.assign(m, 0.0f);
+  bias_ = 0.0f;
+
+  std::vector<int> order = rows;
+  const int batch = std::max(1, config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += batch) {
+      const size_t end = std::min(order.size(), start + batch);
+      std::vector<float> grad_w(m, 0.0f);
+      float grad_b = 0.0f;
+      for (size_t i = start; i < end; ++i) {
+        const int r = order[i];
+        const float* row = features.Row(r);
+        float z = bias_;
+        for (int c = 0; c < m; ++c) z += weights_[c] * row[c];
+        const float p = 1.0f / (1.0f + std::exp(-z));
+        const float err = p - labels[r];
+        for (int c = 0; c < m; ++c) grad_w[c] += err * row[c];
+        grad_b += err;
+      }
+      const float scale = config_.learning_rate / (end - start);
+      for (int c = 0; c < m; ++c) {
+        weights_[c] -= scale * (grad_w[c] + config_.l2 * weights_[c]);
+      }
+      bias_ -= scale * grad_b;
+    }
+  }
+}
+
+std::vector<float> LogisticRegression::PredictProba(
+    const Matrix& features, const std::vector<int>& rows) const {
+  PF_CHECK_EQ(features.cols(), static_cast<int>(weights_.size()));
+  std::vector<float> probs(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* row = features.Row(rows[i]);
+    float z = bias_;
+    for (size_t c = 0; c < weights_.size(); ++c) z += weights_[c] * row[c];
+    probs[i] = 1.0f / (1.0f + std::exp(-z));
+  }
+  return probs;
+}
+
+}  // namespace pafeat

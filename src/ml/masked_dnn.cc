@@ -1,0 +1,127 @@
+#include "ml/masked_dnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+#include "nn/optimizer.h"
+
+namespace pafeat {
+
+MaskedDnnClassifier::MaskedDnnClassifier(const MaskedDnnConfig& config)
+    : config_(config) {}
+
+Matrix MaskedDnnClassifier::BuildMaskedBatch(const Matrix& features,
+                                             const std::vector<int>& rows,
+                                             const FeatureMask& mask) const {
+  const int m = features.cols();
+  if (!mask.empty()) {
+    PF_CHECK_EQ(static_cast<int>(mask.size()), m);
+  }
+  Matrix batch(static_cast<int>(rows.size()), m);
+  for (int i = 0; i < batch.rows(); ++i) {
+    const float* src = features.Row(rows[i]);
+    float* dst = batch.Row(i);
+    for (int c = 0; c < m; ++c) {
+      dst[c] = (mask.empty() || mask[c]) ? src[c] : 0.0f;
+    }
+  }
+  return batch;
+}
+
+void MaskedDnnClassifier::Fit(const Matrix& features,
+                              const std::vector<float>& labels,
+                              const std::vector<int>& rows, Rng* rng) {
+  PF_CHECK(!rows.empty());
+  const int m = features.cols();
+
+  MlpConfig net_config;
+  net_config.input_dim = m;
+  net_config.hidden_dims = config_.hidden_dims;
+  net_config.output_dim = 1;
+  net_config.output_activation = Activation::kSigmoid;
+  net_ = std::make_unique<Mlp>(net_config, rng);
+
+  AdamOptimizer optimizer(config_.learning_rate);
+  std::vector<int> order = rows;
+  const int batch_size = std::max(1, config_.batch_size);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      const size_t end = std::min(order.size(), start + batch_size);
+      const std::vector<int> batch_rows(order.begin() + start,
+                                        order.begin() + end);
+
+      // Random feature mask per batch: with probability 1/2 train on the
+      // full feature vector, otherwise drop features i.i.d. with a keep
+      // probability drawn from [min_keep, 1].
+      FeatureMask mask;
+      if (rng->Bernoulli(0.5)) {
+        const double keep = rng->Uniform(config_.min_keep, 1.0);
+        mask.assign(m, 0);
+        int kept = 0;
+        for (int c = 0; c < m; ++c) {
+          if (rng->Bernoulli(keep)) {
+            mask[c] = 1;
+            ++kept;
+          }
+        }
+        if (kept == 0) mask[rng->UniformInt(m)] = 1;
+      }
+
+      const Matrix batch = BuildMaskedBatch(features, batch_rows, mask);
+      const Matrix& probs = net_->Forward(batch);
+
+      // Binary cross-entropy gradient wrt the sigmoid output:
+      // dL/dp = (p - y) / (p (1 - p)) / B; combined with the sigmoid
+      // derivative in Backward this yields the standard (p - y) / B.
+      Matrix grad(probs.rows(), 1);
+      const float inv_batch = 1.0f / probs.rows();
+      for (int i = 0; i < probs.rows(); ++i) {
+        const float p = std::clamp(probs.At(i, 0), 1e-6f, 1.0f - 1e-6f);
+        const float y = labels[batch_rows[i]];
+        grad.At(i, 0) = inv_batch * (p - y) / (p * (1.0f - p));
+      }
+      net_->ZeroGrad();
+      net_->Backward(grad);
+      optimizer.Step(net_->Params(), net_->Grads());
+    }
+  }
+}
+
+std::vector<float> MaskedDnnClassifier::Predict(const Matrix& features,
+                                                const std::vector<int>& rows,
+                                                const FeatureMask& mask) const {
+  PF_CHECK(net_ != nullptr);
+  const Matrix batch = BuildMaskedBatch(features, rows, mask);
+  const Matrix probs = net_->Predict(batch);
+  std::vector<float> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = probs.At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+double MaskedDnnClassifier::EvaluateAuc(const Matrix& features,
+                                        const std::vector<float>& labels,
+                                        const std::vector<int>& rows,
+                                        const FeatureMask& mask) const {
+  const std::vector<float> scores = Predict(features, rows, mask);
+  std::vector<float> subset_labels(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) subset_labels[i] = labels[rows[i]];
+  return AucScore(scores, subset_labels);
+}
+
+double MaskedDnnClassifier::EvaluateF1(const Matrix& features,
+                                       const std::vector<float>& labels,
+                                       const std::vector<int>& rows,
+                                       const FeatureMask& mask) const {
+  const std::vector<float> scores = Predict(features, rows, mask);
+  std::vector<float> subset_labels(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) subset_labels[i] = labels[rows[i]];
+  return F1Score(scores, subset_labels);
+}
+
+}  // namespace pafeat

@@ -1,0 +1,69 @@
+#ifndef PAFEAT_ML_MASKED_DNN_H_
+#define PAFEAT_ML_MASKED_DNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/feature_mask.h"
+#include "nn/mlp.h"
+#include "tensor/matrix.h"
+
+namespace pafeat {
+
+struct MaskedDnnConfig {
+  std::vector<int> hidden_dims = {64};
+  int epochs = 20;
+  int batch_size = 64;
+  float learning_rate = 1e-3f;
+  // During training, each batch sees a random feature mask whose keep
+  // probability is drawn from [min_keep, 1]; this teaches the network to
+  // classify from arbitrary subsets (paper §IV-A4: "pretrain a classifier
+  // using all features ... which uses masked feature vectors").
+  double min_keep = 0.3;
+};
+
+// The pretrained reward classifier CLS of Eqn 2: one DNN trained once per
+// task on all features with feature-mask dropout, then queried with the
+// candidate subset's mask at every reward evaluation — avoiding a classifier
+// retrain per subset.
+//
+// Inputs are expected to be standardized, so masking a feature to zero is
+// masking it to its mean.
+class MaskedDnnClassifier {
+ public:
+  explicit MaskedDnnClassifier(const MaskedDnnConfig& config = {});
+
+  // Trains on the given rows; resets previous state.
+  void Fit(const Matrix& features, const std::vector<float>& labels,
+           const std::vector<int>& rows, Rng* rng);
+
+  // P(y=1 | masked x) for each given row. An empty mask means "all features".
+  std::vector<float> Predict(const Matrix& features,
+                             const std::vector<int>& rows,
+                             const FeatureMask& mask) const;
+
+  // AUC of the masked prediction over the given rows — the paper's P(.) in
+  // the reward function.
+  double EvaluateAuc(const Matrix& features, const std::vector<float>& labels,
+                     const std::vector<int>& rows,
+                     const FeatureMask& mask) const;
+
+  // F1 of the masked prediction (used by the distance-ratio diagnostics).
+  double EvaluateF1(const Matrix& features, const std::vector<float>& labels,
+                    const std::vector<int>& rows,
+                    const FeatureMask& mask) const;
+
+  bool fitted() const { return net_ != nullptr; }
+
+ private:
+  Matrix BuildMaskedBatch(const Matrix& features, const std::vector<int>& rows,
+                          const FeatureMask& mask) const;
+
+  MaskedDnnConfig config_;
+  std::unique_ptr<Mlp> net_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_ML_MASKED_DNN_H_

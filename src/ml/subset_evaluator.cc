@@ -1,0 +1,48 @@
+#include "ml/subset_evaluator.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+SubsetEvaluator::SubsetEvaluator(const Matrix* features,
+                                 std::vector<float> labels,
+                                 std::vector<int> eval_rows,
+                                 const MaskedDnnClassifier* classifier)
+    : features_(features),
+      labels_(std::move(labels)),
+      eval_rows_(std::move(eval_rows)),
+      classifier_(classifier) {
+  PF_CHECK(features_ != nullptr);
+  PF_CHECK(classifier_ != nullptr);
+  PF_CHECK(classifier_->fitted());
+  PF_CHECK(!eval_rows_.empty());
+  PF_CHECK_EQ(static_cast<int>(labels_.size()), features_->rows());
+}
+
+double SubsetEvaluator::Reward(const FeatureMask& mask) const {
+  PF_CHECK_EQ(static_cast<int>(mask.size()), features_->cols());
+  const std::string key = MaskKey(mask);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Computed outside the lock so different masks evaluate concurrently.
+  const double reward =
+      classifier_->EvaluateAuc(*features_, labels_, eval_rows_, mask);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(std::move(key), reward);
+  }
+  return reward;
+}
+
+double SubsetEvaluator::FullFeatureReward() const {
+  return Reward(FeatureMask(features_->cols(), 1));
+}
+
+}  // namespace pafeat

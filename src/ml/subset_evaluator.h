@@ -1,0 +1,54 @@
+#ifndef PAFEAT_ML_SUBSET_EVALUATOR_H_
+#define PAFEAT_ML_SUBSET_EVALUATOR_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/feature_mask.h"
+#include "ml/masked_dnn.h"
+#include "tensor/matrix.h"
+
+namespace pafeat {
+
+// The reward function of Eqn 2 for one task, with memoization:
+//   r = P(CLS(X^F'), Y)
+// where CLS is the task's pretrained MaskedDnnClassifier and P is AUC over a
+// fixed evaluation row set. RL-based feature selection calls the reward for
+// the same subsets over and over, so the (task-local) cache keyed by the
+// subset bitmask removes the dominant cost (measured in bench_micro).
+//
+// Thread-safe: the cache is guarded by a mutex so FEAT's parallel episode
+// collection can share one evaluator per task. Rewards are computed outside
+// the lock (concurrent misses on the same mask may compute twice — benign,
+// since the value is deterministic).
+class SubsetEvaluator {
+ public:
+  SubsetEvaluator(const Matrix* features, std::vector<float> labels,
+                  std::vector<int> eval_rows,
+                  const MaskedDnnClassifier* classifier);
+
+  // Cached AUC reward of the subset.
+  double Reward(const FeatureMask& mask) const;
+
+  // Reward of the full feature set (the P_all baseline of Eqn 6a).
+  double FullFeatureReward() const;
+
+  int num_features() const { return features_->cols(); }
+  long long cache_hits() const { return hits_; }
+  long long cache_misses() const { return misses_; }
+
+ private:
+  const Matrix* features_;
+  std::vector<float> labels_;
+  std::vector<int> eval_rows_;
+  const MaskedDnnClassifier* classifier_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, double> cache_;
+  mutable long long hits_ = 0;
+  mutable long long misses_ = 0;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_ML_SUBSET_EVALUATOR_H_

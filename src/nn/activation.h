@@ -1,0 +1,21 @@
+#ifndef PAFEAT_NN_ACTIVATION_H_
+#define PAFEAT_NN_ACTIVATION_H_
+
+#include "tensor/matrix.h"
+
+namespace pafeat {
+
+enum class Activation { kLinear, kRelu, kTanh, kSigmoid };
+
+// Applies the activation elementwise in place.
+void ApplyActivation(Activation act, Matrix* values);
+
+// Multiplies `grad` in place by the activation derivative, where `activated`
+// holds the post-activation values (all supported activations admit a
+// derivative expressed in the output).
+void ApplyActivationGrad(Activation act, const Matrix& activated,
+                         Matrix* grad);
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_NN_ACTIVATION_H_

@@ -1,0 +1,155 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
+  PF_CHECK_GT(config.input_dim, 0);
+  PF_CHECK_GT(config.output_dim, 0);
+  std::vector<int> dims;
+  dims.push_back(config.input_dim);
+  for (int h : config.hidden_dims) {
+    PF_CHECK_GT(h, 0);
+    dims.push_back(h);
+  }
+  dims.push_back(config.output_dim);
+
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    Layer layer;
+    const int fan_in = dims[i];
+    const int fan_out = dims[i + 1];
+    // He initialization for ReLU-family trunks, Xavier otherwise.
+    const float scale =
+        config.hidden_activation == Activation::kRelu
+            ? std::sqrt(2.0f / fan_in)
+            : std::sqrt(1.0f / fan_in);
+    layer.weight = Matrix::RandomNormal(fan_out, fan_in, scale, rng);
+    layer.bias = Matrix::Zeros(1, fan_out);
+    layer.weight_grad = Matrix::Zeros(fan_out, fan_in);
+    layer.bias_grad = Matrix::Zeros(1, fan_out);
+    layer.activation = (i + 2 == dims.size()) ? config.output_activation
+                                              : config.hidden_activation;
+    layers_.push_back(std::move(layer));
+  }
+}
+
+const Matrix& Mlp::Forward(const Matrix& input) {
+  PF_CHECK_EQ(input.cols(), config_.input_dim);
+  const Matrix* current = &input;
+  for (Layer& layer : layers_) {
+    layer.input = *current;
+    layer.output = layer.input.MatMulTransposed(layer.weight);
+    layer.output.AddRowBroadcast(layer.bias);
+    ApplyActivation(layer.activation, &layer.output);
+    current = &layer.output;
+  }
+  return layers_.back().output;
+}
+
+Matrix Mlp::Predict(const Matrix& input) const {
+  PF_CHECK_EQ(input.cols(), config_.input_dim);
+  Matrix current = input;
+  for (const Layer& layer : layers_) {
+    Matrix next = current.MatMulTransposed(layer.weight);
+    next.AddRowBroadcast(layer.bias);
+    ApplyActivation(layer.activation, &next);
+    current = std::move(next);
+  }
+  return current;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  PF_CHECK(!layers_.empty());
+  PF_CHECK(grad_output.SameShape(layers_.back().output));
+  Matrix grad = grad_output;
+  for (int i = static_cast<int>(layers_.size()) - 1; i >= 0; --i) {
+    Layer& layer = layers_[i];
+    ApplyActivationGrad(layer.activation, layer.output, &grad);
+    // dW += grad^T * input ; db += column sums of grad.
+    Matrix weight_grad = grad.TransposedMatMul(layer.input);
+    layer.weight_grad.Add(weight_grad);
+    layer.bias_grad.Add(grad.ColSums());
+    if (i > 0) {
+      grad = grad.MatMul(layer.weight);
+    } else {
+      return grad.MatMul(layer.weight);
+    }
+  }
+  return Matrix();
+}
+
+void Mlp::ZeroGrad() {
+  for (Layer& layer : layers_) {
+    layer.weight_grad.Fill(0.0f);
+    layer.bias_grad.Fill(0.0f);
+  }
+}
+
+std::vector<Matrix*> Mlp::Params() {
+  std::vector<Matrix*> params;
+  params.reserve(layers_.size() * 2);
+  for (Layer& layer : layers_) {
+    params.push_back(&layer.weight);
+    params.push_back(&layer.bias);
+  }
+  return params;
+}
+
+std::vector<Matrix*> Mlp::Grads() {
+  std::vector<Matrix*> grads;
+  grads.reserve(layers_.size() * 2);
+  for (Layer& layer : layers_) {
+    grads.push_back(&layer.weight_grad);
+    grads.push_back(&layer.bias_grad);
+  }
+  return grads;
+}
+
+void Mlp::CopyParamsFrom(const Mlp& other) {
+  PF_CHECK_EQ(layers_.size(), other.layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    PF_CHECK(layers_[i].weight.SameShape(other.layers_[i].weight));
+    layers_[i].weight = other.layers_[i].weight;
+    layers_[i].bias = other.layers_[i].bias;
+  }
+}
+
+std::vector<float> Mlp::SerializeParams() const {
+  std::vector<float> flat;
+  flat.reserve(NumParams());
+  for (const Layer& layer : layers_) {
+    flat.insert(flat.end(), layer.weight.data(),
+                layer.weight.data() + layer.weight.size());
+    flat.insert(flat.end(), layer.bias.data(),
+                layer.bias.data() + layer.bias.size());
+  }
+  return flat;
+}
+
+bool Mlp::DeserializeParams(const std::vector<float>& flat) {
+  if (static_cast<int>(flat.size()) != NumParams()) return false;
+  size_t offset = 0;
+  for (Layer& layer : layers_) {
+    std::copy(flat.begin() + offset, flat.begin() + offset + layer.weight.size(),
+              layer.weight.data());
+    offset += layer.weight.size();
+    std::copy(flat.begin() + offset, flat.begin() + offset + layer.bias.size(),
+              layer.bias.data());
+    offset += layer.bias.size();
+  }
+  return true;
+}
+
+int Mlp::NumParams() const {
+  int total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.weight.size() + layer.bias.size();
+  }
+  return total;
+}
+
+}  // namespace pafeat

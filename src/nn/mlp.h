@@ -1,0 +1,76 @@
+#ifndef PAFEAT_NN_MLP_H_
+#define PAFEAT_NN_MLP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "tensor/matrix.h"
+
+namespace pafeat {
+
+struct MlpConfig {
+  int input_dim = 0;
+  std::vector<int> hidden_dims;
+  int output_dim = 0;
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kLinear;
+};
+
+// Fully-connected network with manual backpropagation — the project's
+// replacement for the PyTorch modules the paper uses (both the Q-networks
+// and the reward classifier are MLPs).
+//
+// Forward() caches per-layer activations for a subsequent Backward();
+// Predict() is the cache-free inference path.
+class Mlp {
+ public:
+  Mlp(const MlpConfig& config, Rng* rng);
+
+  // Batch forward pass (batch x input_dim) -> (batch x output_dim), caching
+  // intermediate activations for Backward.
+  const Matrix& Forward(const Matrix& input);
+
+  // Inference-only forward pass; does not disturb the training cache.
+  Matrix Predict(const Matrix& input) const;
+
+  // Backpropagates dL/d(output) through the cached forward pass, accumulating
+  // parameter gradients, and returns dL/d(input).
+  Matrix Backward(const Matrix& grad_output);
+
+  void ZeroGrad();
+
+  // Mutable views over all parameters / gradients, in a stable order, for
+  // the optimizers and for target-network synchronization.
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+
+  // Copies parameters from a same-architecture network.
+  void CopyParamsFrom(const Mlp& other);
+
+  // Flat (de)serialization; Deserialize returns false on a size mismatch.
+  std::vector<float> SerializeParams() const;
+  bool DeserializeParams(const std::vector<float>& flat);
+
+  int NumParams() const;
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    Matrix weight;  // out x in
+    Matrix bias;    // 1 x out
+    Matrix weight_grad;
+    Matrix bias_grad;
+    Activation activation;
+    // Training cache.
+    Matrix input;   // batch x in
+    Matrix output;  // batch x out (post-activation)
+  };
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_NN_MLP_H_

@@ -1,0 +1,72 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+SgdOptimizer::SgdOptimizer(float learning_rate, float momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+void SgdOptimizer::Step(const std::vector<Matrix*>& params,
+                        const std::vector<Matrix*>& grads) {
+  PF_CHECK_EQ(params.size(), grads.size());
+  if (velocity_.empty() && momentum_ > 0.0f) {
+    for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& p = *params[i];
+    const Matrix& g = *grads[i];
+    PF_CHECK(p.SameShape(g));
+    if (momentum_ > 0.0f) {
+      Matrix& vel = velocity_[i];
+      vel.Scale(momentum_);
+      vel.Axpy(1.0f, g);
+      p.Axpy(-learning_rate_, vel);
+    } else {
+      p.Axpy(-learning_rate_, g);
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(float learning_rate, float beta1, float beta2,
+                             float epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void AdamOptimizer::Step(const std::vector<Matrix*>& params,
+                         const std::vector<Matrix*>& grads) {
+  PF_CHECK_EQ(params.size(), grads.size());
+  if (m_.empty()) {
+    for (Matrix* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  PF_CHECK_EQ(m_.size(), params.size());
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& p = *params[i];
+    const Matrix& g = *grads[i];
+    PF_CHECK(p.SameShape(g));
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* pd = p.data();
+    const float* gd = g.data();
+    const int n = p.size();
+    for (int j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * gd[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      pd[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace pafeat

@@ -1,0 +1,81 @@
+#ifndef PAFEAT_RL_DQN_AGENT_H_
+#define PAFEAT_RL_DQN_AGENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dueling_net.h"
+#include "nn/optimizer.h"
+#include "rl/types.h"
+
+namespace pafeat {
+
+struct DqnConfig {
+  DuelingNetConfig net;
+  float gamma = 0.9f;
+  float learning_rate = 1e-3f;
+  // Target network is refreshed every this many gradient steps (Eqn 1b's
+  // frozen parameters theta^-).
+  int target_sync_every = 100;
+  // Linear epsilon-greedy schedule over gradient steps.
+  float epsilon_start = 1.0f;
+  float epsilon_end = 0.05f;
+  int epsilon_decay_steps = 2000;
+  // Double DQN (van Hasselt et al., 2016): bootstrap with
+  // Q_target(s', argmax_a Q_online(s', a)) instead of max_a Q_target(s', a),
+  // removing the maximization bias. An optional extension beyond the paper.
+  bool double_dqn = false;
+  // PopArt baseline: per-task adaptive normalization of TD targets
+  // (Hessel et al., 2019). Off for PA-FEAT itself.
+  bool use_popart = false;
+  float popart_beta = 0.02f;  // EMA rate of the target statistics
+};
+
+// Dueling Deep Q-Network agent (paper Eqns 1a-1c): an online DuelingNet
+// trained by TD regression against a periodically-synchronized target
+// network, with epsilon-greedy behaviour. This is the "global agent" of
+// FEAT; "local agents" are realized by always acting with the freshest
+// online parameters (synchronization is implicit in a single process).
+class DqnAgent {
+ public:
+  DqnAgent(const DqnConfig& config, Rng* rng);
+
+  // Epsilon-greedy action for one observation. `greedy` disables exploration
+  // (the unseen-task execution path).
+  int Act(const std::vector<float>& observation, Rng* rng, bool greedy) const;
+
+  // Q-values of one observation from the online network.
+  std::vector<float> QValues(const std::vector<float>& observation) const;
+
+  // One gradient step on a batch; returns the TD loss (Eqn 1a).
+  double TrainBatch(const std::vector<BatchItem>& batch);
+
+  float CurrentEpsilon() const;
+  long long train_steps() const { return train_steps_; }
+
+  DuelingNet& online_net() { return *online_; }
+  const DuelingNet& online_net() const { return *online_; }
+  const DqnConfig& config() const { return config_; }
+
+  // PopArt statistics for a task (mean, stddev); identity until trained.
+  std::pair<double, double> PopArtStats(int task_id) const;
+
+ private:
+  void EnsurePopArtSize(int task_id);
+
+  DqnConfig config_;
+  std::unique_ptr<DuelingNet> online_;
+  std::unique_ptr<DuelingNet> target_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+  long long train_steps_ = 0;
+
+  // PopArt per-task first/second moment EMAs.
+  std::vector<double> popart_mean_;
+  std::vector<double> popart_sq_;
+  std::vector<bool> popart_init_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_RL_DQN_AGENT_H_

@@ -1,0 +1,54 @@
+#include "rl/replay_buffer.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+ReplayBuffer::ReplayBuffer(int capacity_transitions)
+    : capacity_(capacity_transitions) {
+  PF_CHECK_GT(capacity_transitions, 0);
+}
+
+void ReplayBuffer::AddTrajectory(Trajectory trajectory) {
+  if (trajectory.transitions.empty()) return;
+  num_transitions_ += static_cast<int>(trajectory.transitions.size());
+  trajectories_.push_back(std::move(trajectory));
+  while (num_transitions_ > capacity_ && trajectories_.size() > 1) {
+    num_transitions_ -= static_cast<int>(trajectories_.front().transitions.size());
+    trajectories_.pop_front();
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::SampleTransitions(
+    int count, Rng* rng) const {
+  PF_CHECK(!empty());
+  std::vector<const Transition*> sampled;
+  sampled.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Two-level uniform pick weighted by trajectory length.
+    int index = rng->UniformInt(num_transitions_);
+    for (const Trajectory& trajectory : trajectories_) {
+      const int len = static_cast<int>(trajectory.transitions.size());
+      if (index < len) {
+        sampled.push_back(&trajectory.transitions[index]);
+        break;
+      }
+      index -= len;
+    }
+  }
+  PF_CHECK_EQ(static_cast<int>(sampled.size()), count);
+  return sampled;
+}
+
+std::vector<const Trajectory*> ReplayBuffer::RecentTrajectories(
+    int count) const {
+  std::vector<const Trajectory*> recent;
+  const int available = static_cast<int>(trajectories_.size());
+  const int take = std::min(count, available);
+  for (int i = available - take; i < available; ++i) {
+    recent.push_back(&trajectories_[i]);
+  }
+  return recent;
+}
+
+}  // namespace pafeat

@@ -1,0 +1,39 @@
+#ifndef PAFEAT_RL_REPLAY_BUFFER_H_
+#define PAFEAT_RL_REPLAY_BUFFER_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/types.h"
+
+namespace pafeat {
+
+// Bounded FIFO replay buffer of whole trajectories (Algorithm 1 keeps one
+// buffer B^k per seen task). Sampling is uniform over stored transitions;
+// the ITS reads the most recent trajectories (Eqn 4a's load module).
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int capacity_transitions);
+
+  void AddTrajectory(Trajectory trajectory);
+
+  // Uniformly samples `count` transitions (with replacement).
+  std::vector<const Transition*> SampleTransitions(int count, Rng* rng) const;
+
+  // The most recent `count` trajectories, newest last (fewer if not enough).
+  std::vector<const Trajectory*> RecentTrajectories(int count) const;
+
+  int num_transitions() const { return num_transitions_; }
+  int num_trajectories() const { return static_cast<int>(trajectories_.size()); }
+  bool empty() const { return num_transitions_ == 0; }
+
+ private:
+  int capacity_;
+  int num_transitions_ = 0;
+  std::deque<Trajectory> trajectories_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_RL_REPLAY_BUFFER_H_

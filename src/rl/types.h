@@ -1,0 +1,59 @@
+#ifndef PAFEAT_RL_TYPES_H_
+#define PAFEAT_RL_TYPES_H_
+
+#include <vector>
+
+#include "data/feature_mask.h"
+
+namespace pafeat {
+
+// Compact environment state: the selection decisions so far plus the scan
+// position (paper: "the state is to mark the corresponding seen task, record
+// the selected features and the current scanning position"; the task mark is
+// the environment's task representation and is appended when the state is
+// expanded into an observation).
+struct EnvState {
+  FeatureMask mask;   // features selected so far
+  int position = 0;   // next feature to scan
+
+  bool operator==(const EnvState& other) const {
+    return position == other.position && mask == other.mask;
+  }
+};
+
+// One (s, a, r, s', done) transition, stored compactly; the dense
+// observation vectors are reconstructed by the owning environment when a
+// batch is assembled (keeps large-m replay buffers small).
+struct Transition {
+  EnvState state;
+  int action = 0;
+  float reward = 0.0f;
+  EnvState next_state;
+  bool done = false;
+};
+
+// A full episode plus its episode return (the final subset's reward).
+struct Trajectory {
+  std::vector<Transition> transitions;
+  double episode_return = 0.0;
+
+  // The feature subset this trajectory maps to (paper: "each trajectory is
+  // mapped to a selected feature subset").
+  const FeatureMask& FinalMask() const {
+    return transitions.back().next_state.mask;
+  }
+};
+
+// Dense training sample for the Q-network.
+struct BatchItem {
+  std::vector<float> observation;
+  int action = 0;
+  float reward = 0.0f;
+  std::vector<float> next_observation;
+  bool done = false;
+  int task_id = 0;  // used by PopArt's per-task normalizers
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_RL_TYPES_H_

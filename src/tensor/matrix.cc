@@ -1,0 +1,215 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+Matrix::Matrix(int rows, int cols) : Matrix(rows, cols, 0.0f) {}
+
+Matrix::Matrix(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  PF_CHECK_GE(rows, 0);
+  PF_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0f); }
+
+Matrix Matrix::Ones(int rows, int cols) { return Matrix(rows, cols, 1.0f); }
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int rows, int cols, float lo, float hi,
+                             Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = static_cast<float>(rng->Normal(0.0, stddev));
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& data) {
+  Matrix m(1, static_cast<int>(data.size()));
+  m.data_ = data;
+  return m;
+}
+
+float& Matrix::At(int r, int c) {
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+float Matrix::At(int r, int c) const {
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+float* Matrix::Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+const float* Matrix::Row(int r) const {
+  return data_.data() + static_cast<size_t>(r) * cols_;
+}
+
+void Matrix::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Matrix::Add(const Matrix& other) {
+  PF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  PF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(float scalar) {
+  for (float& v : data_) v *= scalar;
+}
+
+void Matrix::Axpy(float scalar, const Matrix& other) {
+  PF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+}
+
+void Matrix::MulElementwise(const Matrix& other) {
+  PF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::AddRowBroadcast(const Matrix& bias) {
+  PF_CHECK_EQ(bias.rows(), 1);
+  PF_CHECK_EQ(bias.cols(), cols_);
+  for (int r = 0; r < rows_; ++r) {
+    float* row = Row(r);
+    for (int c = 0; c < cols_; ++c) row[c] += bias.data_[c];
+  }
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  PF_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps both `other` and `out` accesses sequential.
+  for (int i = 0; i < rows_; ++i) {
+    const float* a_row = Row(i);
+    float* out_row = out.Row(i);
+    for (int k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.Row(k);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  PF_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (int k = 0; k < rows_; ++k) {
+    const float* a_row = Row(k);
+    const float* b_row = other.Row(k);
+    for (int i = 0; i < cols_; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* out_row = out.Row(i);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  PF_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const float* a_row = Row(i);
+    float* out_row = out.Row(i);
+    for (int j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.Row(j);
+      float acc = 0.0f;
+      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    for (int c = 0; c < cols_; ++c) out.data_[c] += row[c];
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return total;
+}
+
+double Matrix::Mean() const { return size() == 0 ? 0.0 : Sum() / size(); }
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return total;
+}
+
+int Matrix::ArgMaxRow(int r) const {
+  PF_CHECK_GT(cols_, 0);
+  const float* row = Row(r);
+  int best = 0;
+  for (int c = 1; c < cols_; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (int i = 0; i < out.rows(); ++i) {
+    const int src = indices[i];
+    PF_CHECK_GE(src, 0);
+    PF_CHECK_LT(src, rows_);
+    const float* src_row = Row(src);
+    float* dst_row = out.Row(i);
+    for (int c = 0; c < cols_; ++c) dst_row[c] = src_row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<int>& indices) const {
+  Matrix out(rows_, static_cast<int>(indices.size()));
+  for (int r = 0; r < rows_; ++r) {
+    const float* src_row = Row(r);
+    float* dst_row = out.Row(r);
+    for (int i = 0; i < out.cols(); ++i) {
+      const int src = indices[i];
+      PF_CHECK_GE(src, 0);
+      PF_CHECK_LT(src, cols_);
+      dst_row[i] = src_row[src];
+    }
+  }
+  return out;
+}
+
+}  // namespace pafeat

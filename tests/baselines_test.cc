@@ -1,0 +1,266 @@
+// Tests for the query-time baselines (K-Best, RFE, GRRO-LS, Ant-TD, MDFS,
+// MARLFS, no-FS) on synthetic data with known relevant features.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ant_td.h"
+#include "baselines/grro_ls.h"
+#include "baselines/kbest.h"
+#include "baselines/marlfs.h"
+#include "baselines/mdfs.h"
+#include "baselines/no_fs.h"
+#include "baselines/rfe.h"
+#include "core/defaults.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : dataset_(MakeDataset()),
+        problem_(dataset_.table, DefaultProblemConfig(true), 7) {}
+
+  static SyntheticDataset MakeDataset() {
+    SyntheticSpec spec;
+    spec.num_instances = 400;
+    spec.num_features = 16;
+    spec.num_seen_tasks = 3;
+    spec.num_unseen_tasks = 2;
+    spec.label_noise = 0.3;
+    spec.seed = 31;
+    return GenerateSynthetic(spec);
+  }
+
+  // Fraction of the task's ground-truth relevant features captured by mask.
+  double RelevantRecall(int task, const FeatureMask& mask) const {
+    int hits = 0;
+    for (int f : dataset_.relevant_features[task]) {
+      if (mask[f]) ++hits;
+    }
+    return static_cast<double>(hits) / dataset_.relevant_features[task].size();
+  }
+
+  SyntheticDataset dataset_;
+  FsProblem problem_;
+};
+
+TEST_F(BaselinesTest, TargetSubsetSizeMath) {
+  EXPECT_EQ(TargetSubsetSize(10, 0.5), 5);
+  EXPECT_EQ(TargetSubsetSize(10, 0.55), 5);
+  EXPECT_EQ(TargetSubsetSize(10, 1.0), 10);
+  EXPECT_EQ(TargetSubsetSize(10, 0.01), 1);  // at least one feature
+  EXPECT_EQ(TargetSubsetSize(3, 0.34), 1);
+}
+
+TEST_F(BaselinesTest, KBestSelectsTargetCountAndRelevantFeatures) {
+  KBestSelector kbest;
+  kbest.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = kbest.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+  EXPECT_GT(exec, 0.0);
+  // MI ranking catches most planted features on this easy instance.
+  EXPECT_GE(RelevantRecall(unseen, mask), 0.5);
+}
+
+TEST_F(BaselinesTest, KBestIsTaskSpecific) {
+  KBestSelector kbest;
+  kbest.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.25);
+  double exec = 0.0;
+  const FeatureMask a = kbest.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  const FeatureMask b = kbest.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[1], &exec);
+  // Different unseen tasks have different planted subsets, so the top-k
+  // should differ (task-specific results, unlike multi-label methods).
+  EXPECT_NE(MaskToIndices(a), MaskToIndices(b));
+}
+
+TEST_F(BaselinesTest, RfeReachesExactTargetSize) {
+  RfeSelector rfe;
+  rfe.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = rfe.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+  EXPECT_GE(RelevantRecall(unseen, mask), 0.5);
+}
+
+TEST_F(BaselinesTest, RfeSlowerThanKBest) {
+  KBestSelector kbest;
+  RfeSelector rfe;
+  kbest.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.25);
+  rfe.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.25);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double t_kbest = 0.0;
+  double t_rfe = 0.0;
+  kbest.SelectForUnseen(&problem_, unseen, &t_kbest);
+  rfe.SelectForUnseen(&problem_, unseen, &t_rfe);
+  EXPECT_GT(t_rfe, t_kbest);  // wrapper vs filter (Fig 7's ordering)
+}
+
+TEST_F(BaselinesTest, GrroLsSelectsTargetCount) {
+  GrroLsSelector grro;
+  grro.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = grro.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+}
+
+TEST_F(BaselinesTest, GrroLsPenalizesRedundancy) {
+  // With a large redundancy weight, the redundant copies (indices >= base)
+  // should rarely join their sources in the subset.
+  GrroLsConfig config;
+  config.redundancy_weight = 4.0;
+  GrroLsSelector grro(config);
+  grro.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  double exec = 0.0;
+  const FeatureMask mask = grro.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+}
+
+TEST_F(BaselinesTest, AntTdSelectsTargetCount) {
+  AntTdConfig config;
+  config.generations = 5;
+  config.num_ants = 5;
+  AntTdSelector ant(config);
+  ant.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[1];
+  double exec = 0.0;
+  const FeatureMask mask = ant.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+  EXPECT_GT(exec, 0.0);
+}
+
+TEST_F(BaselinesTest, MdfsSelectsTargetCountWithSignal) {
+  MdfsSelector mdfs;
+  mdfs.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = mdfs.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_EQ(MaskCount(mask), 8);
+}
+
+TEST_F(BaselinesTest, MdfsWeightsFavorPredictiveFeatures) {
+  // Direct check of the solver: W row norms should be larger for planted
+  // features than for pure-noise features.
+  MdfsSelector mdfs;
+  std::vector<int> rows = problem_.train_rows();
+  rows.resize(std::min<size_t>(rows.size(), 200));
+  const Matrix x = problem_.std_features().SelectRows(rows);
+  Matrix y(x.rows(), 1);
+  const std::vector<float> labels = dataset_.table.LabelColumn(0);
+  for (int r = 0; r < x.rows(); ++r) {
+    y.At(r, 0) = labels[rows[r]] > 0.5f ? 1.0f : -1.0f;
+  }
+  const Matrix w = mdfs.SolveWeights(x, y);
+  ASSERT_EQ(w.rows(), 16);
+  double relevant_norm = 0.0;
+  for (int f : dataset_.relevant_features[0]) {
+    relevant_norm += std::abs(w.At(f, 0));
+  }
+  relevant_norm /= dataset_.relevant_features[0].size();
+  double overall_norm = 0.0;
+  for (int f = 0; f < 16; ++f) overall_norm += std::abs(w.At(f, 0));
+  overall_norm /= 16;
+  EXPECT_GT(relevant_norm, overall_norm);
+}
+
+TEST_F(BaselinesTest, MarlfsSelectsWithinBudget) {
+  MarlfsConfig config;
+  config.episodes = 120;
+  MarlfsSelector marlfs(config);
+  marlfs.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = marlfs.SelectForUnseen(&problem_, unseen, &exec);
+  EXPECT_GT(MaskCount(mask), 0);
+  EXPECT_LE(MaskCount(mask), 8);
+  EXPECT_GT(exec, 0.0);
+}
+
+TEST_F(BaselinesTest, MarlfsBeatsRandomSubset) {
+  MarlfsConfig config;
+  config.episodes = 200;
+  MarlfsSelector marlfs(config);
+  marlfs.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  const int unseen = dataset_.UnseenTaskIndices()[0];
+  double exec = 0.0;
+  const FeatureMask mask = marlfs.SelectForUnseen(&problem_, unseen, &exec);
+  const DownstreamScore marl_score =
+      EvaluateSubsetDownstream(&problem_, unseen, mask, 99);
+  Rng rng(100);
+  FeatureMask random_mask =
+      IndicesToMask(rng.SampleWithoutReplacement(16, MaskCount(mask)), 16);
+  const DownstreamScore random_score =
+      EvaluateSubsetDownstream(&problem_, unseen, random_mask, 99);
+  EXPECT_GT(marl_score.auc, random_score.auc - 0.15);
+}
+
+TEST_F(BaselinesTest, NoFsReturnsFullMaskInstantly) {
+  NoFsSelector no_fs("SVM");
+  no_fs.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  double exec = 123.0;
+  const FeatureMask mask =
+      no_fs.SelectForUnseen(&problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_EQ(MaskCount(mask), 16);
+  EXPECT_EQ(exec, 0.0);
+  EXPECT_EQ(no_fs.name(), "SVM");
+}
+
+TEST_F(BaselinesTest, DnnBaselineProducesValidScores) {
+  const DownstreamScore score = EvaluateDnnAllFeatures(
+      &problem_, dataset_.UnseenTaskIndices()[0],
+      DefaultProblemConfig(true).classifier, 55);
+  EXPECT_GE(score.auc, 0.0);
+  EXPECT_LE(score.auc, 1.0);
+  EXPECT_GE(score.f1, 0.0);
+  EXPECT_LE(score.f1, 1.0);
+  EXPECT_GT(score.auc, 0.5);  // the task is learnable
+}
+
+TEST_F(BaselinesTest, AverageDnnAveragesTasks) {
+  const MaskedDnnConfig config = DefaultProblemConfig(true).classifier;
+  const DownstreamScore avg =
+      AverageDnnAllFeatures(&problem_, dataset_.UnseenTaskIndices(), config, 55);
+  const DownstreamScore a = EvaluateDnnAllFeatures(
+      &problem_, dataset_.UnseenTaskIndices()[0], config, 55);
+  const DownstreamScore b = EvaluateDnnAllFeatures(
+      &problem_, dataset_.UnseenTaskIndices()[1], config, 55 + 31);
+  EXPECT_NEAR(avg.auc, 0.5 * (a.auc + b.auc), 1e-9);
+  EXPECT_NEAR(avg.f1, 0.5 * (a.f1 + b.f1), 1e-9);
+}
+
+class MfrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MfrSweep, KBestRespectsEveryRatio) {
+  SyntheticSpec spec;
+  spec.num_instances = 250;
+  spec.num_features = 20;
+  spec.num_seen_tasks = 2;
+  spec.num_unseen_tasks = 1;
+  spec.seed = 41;
+  const SyntheticDataset dataset = GenerateSynthetic(spec);
+  FsProblem problem(dataset.table, DefaultProblemConfig(true), 42);
+  KBestSelector kbest;
+  const double mfr = GetParam();
+  kbest.Prepare(&problem, dataset.SeenTaskIndices(), mfr);
+  double exec = 0.0;
+  const FeatureMask mask =
+      kbest.SelectForUnseen(&problem, dataset.UnseenTaskIndices()[0], &exec);
+  EXPECT_EQ(MaskCount(mask), TargetSubsetSize(20, mfr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MfrSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace pafeat

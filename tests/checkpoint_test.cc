@@ -1,0 +1,141 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/defaults.h"
+#include "core/multi_run.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : dataset_(MakeDataset()),
+        problem_(dataset_.table, DefaultProblemConfig(true), 83) {
+    FeatConfig config = DefaultFeatOptions(30, 84).feat;
+    config.max_feature_ratio = 0.4;
+    feat_ = std::make_unique<Feat>(&problem_, dataset_.SeenTaskIndices(),
+                                   config);
+    feat_->Train(30);
+  }
+
+  static SyntheticDataset MakeDataset() {
+    SyntheticSpec spec;
+    spec.num_instances = 250;
+    spec.num_features = 10;
+    spec.num_seen_tasks = 2;
+    spec.num_unseen_tasks = 1;
+    spec.seed = 85;
+    return GenerateSynthetic(spec);
+  }
+
+  std::string TempPath() const {
+    return ::testing::TempDir() + "/pafeat_agent.ckpt";
+  }
+
+  SyntheticDataset dataset_;
+  FsProblem problem_;
+  std::unique_ptr<Feat> feat_;
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesSelections) {
+  const AgentCheckpoint checkpoint = MakeCheckpoint(*feat_);
+  EXPECT_EQ(checkpoint.net_config.input_dim, 23);  // 2 * 10 + 3
+  EXPECT_DOUBLE_EQ(checkpoint.max_feature_ratio, 0.4);
+
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path));
+  const auto restored = CheckpointedSelector::FromFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_features(), 10);
+  EXPECT_DOUBLE_EQ(restored->max_feature_ratio(), 0.4);
+
+  // The restored selector reproduces the live agent's decisions exactly.
+  for (int task = 0; task < problem_.num_tasks(); ++task) {
+    const std::vector<float> repr = problem_.ComputeTaskRepresentation(task);
+    EXPECT_EQ(restored->SelectForRepresentation(repr),
+              feat_->SelectForRepresentation(repr))
+        << "task " << task;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadCheckpoint("/nonexistent/agent.ckpt").has_value());
+}
+
+TEST_F(CheckpointTest, LoadRejectsCorruptedMagic) {
+  const std::string path = TempPath();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage data that is not a checkpoint at all";
+  }
+  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsTruncatedFile) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(*feat_), path));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsParameterCountMismatch) {
+  AgentCheckpoint checkpoint = MakeCheckpoint(*feat_);
+  checkpoint.parameters.pop_back();
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path));
+  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(MultiRunTest, SummarizeBasics) {
+  const RunStatistics statistics = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(statistics.runs, 4);
+  EXPECT_DOUBLE_EQ(statistics.mean, 2.5);
+  EXPECT_DOUBLE_EQ(statistics.min, 1.0);
+  EXPECT_DOUBLE_EQ(statistics.max, 4.0);
+  EXPECT_NEAR(statistics.stddev, 1.2909944, 1e-6);
+}
+
+TEST(MultiRunTest, SingleRunHasZeroStddev) {
+  const RunStatistics statistics = Summarize({0.7});
+  EXPECT_EQ(statistics.runs, 1);
+  EXPECT_DOUBLE_EQ(statistics.stddev, 0.0);
+}
+
+TEST(MultiRunTest, RepeatRunsPassesDistinctSeeds) {
+  std::vector<uint64_t> seeds;
+  const RunStatistics statistics =
+      RepeatRuns(3, 100, [&](uint64_t seed) {
+        seeds.push_back(seed);
+        return static_cast<double>(seed);
+      });
+  EXPECT_EQ(seeds, (std::vector<uint64_t>{100, 101, 102}));
+  EXPECT_DOUBLE_EQ(statistics.mean, 101.0);
+}
+
+TEST(MultiRunTest, FormatMeanStd) {
+  RunStatistics statistics;
+  statistics.mean = 0.73125;
+  statistics.stddev = 0.0125;
+  EXPECT_EQ(FormatMeanStd(statistics, 3), "0.731 ± 0.013");
+}
+
+}  // namespace
+}  // namespace pafeat

@@ -1,0 +1,124 @@
+#include "core/etree.h"
+
+#include <gtest/gtest.h>
+
+namespace pafeat {
+namespace {
+
+TEST(ETreeTest, StartsEmpty) {
+  ETree tree(5);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.num_nodes(), 1);  // root only
+  EXPECT_EQ(tree.root_visits(), 0);
+}
+
+TEST(ETreeTest, AddTrajectoryCreatesPath) {
+  ETree tree(4);
+  tree.AddTrajectory({1, 0, 1, 0}, 0.8);
+  EXPECT_FALSE(tree.empty());
+  EXPECT_EQ(tree.num_nodes(), 5);  // root + 4
+  EXPECT_EQ(tree.root_visits(), 1);
+  EXPECT_EQ(tree.NodeVisits({1}), 1);
+  EXPECT_EQ(tree.NodeVisits({1, 0}), 1);
+  EXPECT_EQ(tree.NodeVisits({0}), 0);
+  EXPECT_DOUBLE_EQ(tree.NodeValue({1, 0, 1}), 0.8);
+}
+
+TEST(ETreeTest, SharedPrefixAccumulates) {
+  ETree tree(4);
+  tree.AddTrajectory({1, 0}, 0.4);
+  tree.AddTrajectory({1, 1}, 0.8);
+  EXPECT_EQ(tree.NodeVisits({1}), 2);
+  EXPECT_DOUBLE_EQ(tree.NodeValue({1}), 0.6);  // mean of 0.4 and 0.8
+  EXPECT_EQ(tree.num_nodes(), 4);  // root, {1}, {1,0}, {1,1}
+}
+
+TEST(ETreeTest, NodeValueUnvisitedIsNegative) {
+  ETree tree(3);
+  tree.AddTrajectory({0}, 0.5);
+  EXPECT_DOUBLE_EQ(tree.NodeValue({1}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.NodeValue({0, 1, 0}), -1.0);
+}
+
+TEST(ETreeTest, SelectPrefixStopsAtFrontier) {
+  ETree tree(6);
+  tree.AddTrajectory({1, 1, 0}, 0.9);
+  // Root has only the `1` child expanded -> frontier is the root itself.
+  const std::vector<int> prefix = tree.SelectPrefix(2.0, 5);
+  EXPECT_TRUE(prefix.empty());
+}
+
+TEST(ETreeTest, SelectPrefixDescendsWhenBothChildrenVisited) {
+  ETree tree(6);
+  tree.AddTrajectory({1, 1}, 0.9);
+  tree.AddTrajectory({0, 0}, 0.1);
+  const std::vector<int> prefix = tree.SelectPrefix(2.0, 5);
+  // Both root children expanded: UCT picks one (the better-valued `1`
+  // branch, since visits are equal) and stops at its frontier.
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0], 1);
+}
+
+TEST(ETreeTest, UctPrefersHighValueChild) {
+  ETree tree(8);
+  for (int i = 0; i < 20; ++i) tree.AddTrajectory({1, 1}, 0.9);
+  for (int i = 0; i < 20; ++i) tree.AddTrajectory({0, 0}, 0.1);
+  const std::vector<int> prefix = tree.SelectPrefix(0.01, 5);
+  ASSERT_FALSE(prefix.empty());
+  EXPECT_EQ(prefix[0], 1);  // exploitation dominates with tiny c_e
+}
+
+TEST(ETreeTest, UctExploresUndervisitedChild) {
+  ETree tree(8);
+  // The `1` branch is good but heavily visited; `0` rarely visited.
+  for (int i = 0; i < 200; ++i) tree.AddTrajectory({1}, 0.6);
+  tree.AddTrajectory({0}, 0.5);
+  // Huge exploration constant -> the rarely visited branch wins.
+  const std::vector<int> prefix = tree.SelectPrefix(50.0, 5);
+  ASSERT_FALSE(prefix.empty());
+  EXPECT_EQ(prefix[0], 0);
+}
+
+TEST(ETreeTest, SelectPrefixRespectsMaxDepth) {
+  ETree tree(10);
+  for (int i = 0; i < 5; ++i) {
+    tree.AddTrajectory({1, 1, 1, 1, 1, 1, 1, 1}, 0.9);
+    tree.AddTrajectory({0, 0, 0, 0, 0, 0, 0, 0}, 0.1);
+    tree.AddTrajectory({1, 0, 1, 0, 1, 0, 1, 0}, 0.5);
+    tree.AddTrajectory({0, 1, 0, 1, 0, 1, 0, 1}, 0.4);
+  }
+  const std::vector<int> prefix = tree.SelectPrefix(2.0, 3);
+  EXPECT_LE(prefix.size(), 3u);
+}
+
+TEST(ETreeTest, PrefixToStateMapsDecisions) {
+  ETree tree(5);
+  const EnvState state = tree.PrefixToState({1, 0, 1});
+  EXPECT_EQ(state.position, 3);
+  ASSERT_EQ(state.mask.size(), 5u);
+  EXPECT_EQ(state.mask[0], 1);
+  EXPECT_EQ(state.mask[1], 0);
+  EXPECT_EQ(state.mask[2], 1);
+  EXPECT_EQ(state.mask[3], 0);
+  EXPECT_EQ(MaskCount(state.mask), 2);
+}
+
+TEST(ETreeTest, EmptyPrefixIsDefaultInitialState) {
+  ETree tree(4);
+  const EnvState state = tree.PrefixToState({});
+  EXPECT_EQ(state.position, 0);
+  EXPECT_EQ(MaskCount(state.mask), 0);
+}
+
+TEST(ETreeDeathTest, OverlongTrajectoryDies) {
+  ETree tree(2);
+  EXPECT_DEATH(tree.AddTrajectory({1, 0, 1}, 0.5), "Check failed");
+}
+
+TEST(ETreeDeathTest, InvalidActionDies) {
+  ETree tree(4);
+  EXPECT_DEATH(tree.AddTrajectory({2}, 0.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace pafeat

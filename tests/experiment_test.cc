@@ -1,0 +1,120 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/defaults.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  ExperimentTest()
+      : dataset_(MakeDataset()),
+        problem_(dataset_.table, DefaultProblemConfig(true), 71) {}
+
+  static SyntheticDataset MakeDataset() {
+    SyntheticSpec spec;
+    spec.num_instances = 400;
+    spec.num_features = 14;
+    spec.num_seen_tasks = 2;
+    spec.num_unseen_tasks = 1;
+    spec.label_noise = 0.3;
+    spec.difficulty_spread = 1.0;
+    spec.seed = 73;
+    return GenerateSynthetic(spec);
+  }
+
+  SyntheticDataset dataset_;
+  FsProblem problem_;
+};
+
+TEST_F(ExperimentTest, ScoresAreInRange) {
+  const DownstreamScore score = EvaluateSubsetDownstream(
+      &problem_, 0, FeatureMask(14, 1), 99);
+  EXPECT_GE(score.f1, 0.0);
+  EXPECT_LE(score.f1, 1.0);
+  EXPECT_GE(score.auc, 0.0);
+  EXPECT_LE(score.auc, 1.0);
+}
+
+TEST_F(ExperimentTest, OracleBeatsAntiOracle) {
+  const int task = 0;
+  const FeatureMask oracle =
+      IndicesToMask(dataset_.relevant_features[task], 14);
+  // Complement restricted to the same size.
+  FeatureMask anti(14, 0);
+  int budget = MaskCount(oracle);
+  for (int f = 0; f < 14 && budget > 0; ++f) {
+    if (!oracle[f]) {
+      anti[f] = 1;
+      --budget;
+    }
+  }
+  const DownstreamScore oracle_score =
+      EvaluateSubsetDownstream(&problem_, task, oracle, 99);
+  const DownstreamScore anti_score =
+      EvaluateSubsetDownstream(&problem_, task, anti, 99);
+  EXPECT_GT(oracle_score.auc, anti_score.auc);
+}
+
+TEST_F(ExperimentTest, DeterministicForSeed) {
+  const FeatureMask mask = IndicesToMask({0, 2, 5}, 14);
+  const DownstreamScore a = EvaluateSubsetDownstream(&problem_, 0, mask, 42);
+  const DownstreamScore b = EvaluateSubsetDownstream(&problem_, 0, mask, 42);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+}
+
+TEST_F(ExperimentTest, EvaluateMethodAveragesSelectorOutputs) {
+  // A stub selector that always returns a fixed mask and a fixed time.
+  class FixedSelector : public FeatureSelector {
+   public:
+    explicit FixedSelector(FeatureMask mask) : mask_(std::move(mask)) {}
+    std::string name() const override { return "Fixed"; }
+    double Prepare(FsProblem*, const std::vector<int>&, double) override {
+      return 0.25;
+    }
+    FeatureMask SelectForUnseen(FsProblem*, int, double* seconds) override {
+      *seconds = 0.5;
+      return mask_;
+    }
+    FeatureMask mask_;
+  };
+
+  FixedSelector selector(IndicesToMask({1, 3}, 14));
+  const MethodEvaluation evaluation =
+      EvaluateMethod(&problem_, {0, 1}, {2}, 0.5, &selector, 7);
+  EXPECT_EQ(evaluation.method, "Fixed");
+  EXPECT_DOUBLE_EQ(evaluation.mean_iteration_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(evaluation.avg_execution_seconds, 0.5);
+  ASSERT_EQ(evaluation.masks.size(), 1u);
+  EXPECT_EQ(evaluation.masks[0], selector.mask_);
+  const DownstreamScore direct =
+      EvaluateSubsetDownstream(&problem_, 2, selector.mask_, 7 + 7919);
+  EXPECT_DOUBLE_EQ(evaluation.avg_f1, direct.f1);
+  EXPECT_DOUBLE_EQ(evaluation.avg_auc, direct.auc);
+}
+
+TEST(DefaultsTest, FastConfigIsCheaperThanFull) {
+  const FsProblemConfig fast = DefaultProblemConfig(true);
+  const FsProblemConfig full = DefaultProblemConfig(false);
+  EXPECT_LT(fast.classifier.epochs, full.classifier.epochs);
+  EXPECT_LE(fast.reward_eval_rows, full.reward_eval_rows);
+  EXPECT_DOUBLE_EQ(fast.train_fraction, 0.7);  // the paper's split
+  EXPECT_DOUBLE_EQ(full.train_fraction, 0.7);
+}
+
+TEST(DefaultsTest, FeatOptionsScaleWithIterations) {
+  const FeatBasedOptions a = DefaultFeatOptions(100, 1);
+  const FeatBasedOptions b = DefaultFeatOptions(1000, 1);
+  EXPECT_EQ(a.train_iterations, 100);
+  EXPECT_EQ(b.train_iterations, 1000);
+  EXPECT_LT(a.feat.dqn.epsilon_decay_steps, b.feat.dqn.epsilon_decay_steps);
+  EXPECT_GT(a.feat.dqn.gamma, 0.0f);
+  EXPECT_LT(a.feat.dqn.gamma, 1.0f);
+}
+
+}  // namespace
+}  // namespace pafeat

@@ -1,0 +1,177 @@
+// Tests for the FEAT-based multi-task baselines: PopArt, Go-Explore, RR,
+// and the PA-FEAT selector ablation plumbing.
+#include <gtest/gtest.h>
+
+#include "baselines/feat_based.h"
+#include "core/defaults.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+class FeatBaselinesTest : public ::testing::Test {
+ protected:
+  FeatBaselinesTest()
+      : dataset_(MakeDataset()),
+        problem_(dataset_.table, DefaultProblemConfig(true), 7) {}
+
+  static SyntheticDataset MakeDataset() {
+    SyntheticSpec spec;
+    spec.num_instances = 300;
+    spec.num_features = 12;
+    spec.num_seen_tasks = 3;
+    spec.num_unseen_tasks = 1;
+    spec.seed = 61;
+    return GenerateSynthetic(spec);
+  }
+
+  FeatBasedOptions Options() const { return DefaultFeatOptions(25, 62); }
+
+  SyntheticDataset dataset_;
+  FsProblem problem_;
+};
+
+TEST_F(FeatBaselinesTest, AblationNames) {
+  EXPECT_EQ(PaFeatAblation{}.Suffix(), "");
+  PaFeatAblation no_its;
+  no_its.use_its = false;
+  EXPECT_EQ(no_its.Suffix(), " w/o ITS");
+  PaFeatAblation no_ite;
+  no_ite.use_ite = false;
+  EXPECT_EQ(no_ite.Suffix(), " w/o ITE");
+  PaFeatAblation no_both;
+  no_both.use_its = false;
+  no_both.use_ite = false;
+  EXPECT_EQ(no_both.Suffix(), " w/o ITS&ITE");
+  PaFeatAblation no_pe;
+  no_pe.policy_exploitation = false;
+  EXPECT_EQ(no_pe.Suffix(), " w/o PE");
+  EXPECT_EQ(PaFeatSelector(FeatBasedOptions{}, no_pe).name(),
+            "PA-FEAT w/o PE");
+}
+
+TEST_F(FeatBaselinesTest, PaFeatSelectorEndToEnd) {
+  PaFeatSelector selector(Options());
+  const double iter_seconds =
+      selector.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  EXPECT_GT(iter_seconds, 0.0);
+  double exec = 0.0;
+  const FeatureMask mask = selector.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_LE(MaskCount(mask), 6);
+  EXPECT_GT(exec, 0.0);
+}
+
+TEST_F(FeatBaselinesTest, PopArtTrainsAndSelects) {
+  PopArtSelector selector(Options());
+  EXPECT_EQ(selector.name(), "PopArt");
+  const double iter_seconds =
+      selector.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  EXPECT_GT(iter_seconds, 0.0);
+  double exec = 0.0;
+  const FeatureMask mask = selector.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_LE(MaskCount(mask), 6);
+}
+
+TEST_F(FeatBaselinesTest, GoExploreTrainsAndSelects) {
+  GoExploreSelector selector(Options());
+  EXPECT_EQ(selector.name(), "Go-Explore");
+  selector.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  double exec = 0.0;
+  const FeatureMask mask = selector.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_LE(MaskCount(mask), 6);
+}
+
+TEST_F(FeatBaselinesTest, RewardRandomizationTrainsAndSelects) {
+  RewardRandomizationSelector selector(Options());
+  EXPECT_EQ(selector.name(), "RR");
+  selector.Prepare(&problem_, dataset_.SeenTaskIndices(), 0.5);
+  double exec = 0.0;
+  const FeatureMask mask = selector.SelectForUnseen(
+      &problem_, dataset_.UnseenTaskIndices()[0], &exec);
+  EXPECT_LE(MaskCount(mask), 6);
+}
+
+TEST_F(FeatBaselinesTest, GoExploreProviderArchivesStates) {
+  GoExploreProvider provider(8, /*use_probability=*/1.0);
+  EXPECT_EQ(provider.ArchiveSize(0), 0);
+  provider.OnTrajectory(0, {1, 0, 1}, 0.7);
+  EXPECT_GT(provider.ArchiveSize(0), 0);
+  const int size_after_first = provider.ArchiveSize(0);
+  // The same path adds no new states.
+  provider.OnTrajectory(0, {1, 0, 1}, 0.7);
+  EXPECT_EQ(provider.ArchiveSize(0), size_after_first);
+  // A different path does.
+  provider.OnTrajectory(0, {0, 1}, 0.4);
+  EXPECT_GT(provider.ArchiveSize(0), size_after_first);
+}
+
+TEST_F(FeatBaselinesTest, GoExploreProposalsUseRandomPolicy) {
+  GoExploreProvider provider(8, /*use_probability=*/1.0);
+  provider.OnTrajectory(0, {1, 0, 1, 1}, 0.7);
+  Rng rng(63);
+  SeenTaskRuntime dummy;
+  const auto start = provider.Propose(0, dummy, &rng);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_TRUE(start->random_policy);
+  // Prefix is consistent with the state.
+  EXPECT_EQ(static_cast<int>(start->prefix.size()), start->state.position);
+  for (size_t i = 0; i < start->prefix.size(); ++i) {
+    EXPECT_EQ(start->state.mask[i] != 0, start->prefix[i] == 1);
+  }
+}
+
+TEST_F(FeatBaselinesTest, GoExploreArchiveKeysWidePositions) {
+  // The archive key encodes the scan position in two bytes; states at
+  // positions beyond 255 (wide datasets) must still be distinguishable.
+  GoExploreProvider provider(600, /*use_probability=*/1.0);
+  std::vector<int> all_deselect(400, 0);
+  provider.OnTrajectory(0, all_deselect, 0.2);
+  const int size = provider.ArchiveSize(0);
+  EXPECT_EQ(size, 400);  // every visited position archived once
+  // Same decisions again: no duplicates.
+  provider.OnTrajectory(0, all_deselect, 0.2);
+  EXPECT_EQ(provider.ArchiveSize(0), size);
+}
+
+TEST_F(FeatBaselinesTest, GoExploreNoveltyPrefersFreshStates) {
+  GoExploreProvider provider(6, /*use_probability=*/1.0);
+  provider.OnTrajectory(0, {1}, 0.5);   // archives state after action 1
+  Rng rng(64);
+  SeenTaskRuntime dummy;
+  // Repeated proposals distribute choices; times_chosen grows, so later
+  // proposals still succeed (weights never hit zero).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(provider.Propose(0, dummy, &rng).has_value());
+  }
+}
+
+TEST_F(FeatBaselinesTest, RandomizedRewardShaperScalesPerEpisode) {
+  RandomizedRewardShaper shaper(0.5, 1.5, 0.0);
+  Rng rng(65);
+  const double scale_a = shaper.BeginEpisode(0, &rng);
+  const double a1 = shaper.Shape(1.0, 0, scale_a, &rng);
+  const double a2 = shaper.Shape(2.0, 0, scale_a, &rng);
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-9);  // same scale within an episode
+  EXPECT_GE(a1, 0.5);
+  EXPECT_LE(a1, 1.5);
+  const double scale_b = shaper.BeginEpisode(0, &rng);
+  EXPECT_NE(scale_a, scale_b);  // rescaled across episodes (almost surely)
+}
+
+TEST_F(FeatBaselinesTest, ShaperNoiseAddsJitter) {
+  RandomizedRewardShaper shaper(1.0, 1.0, 0.1);
+  Rng rng(66);
+  const double scale = shaper.BeginEpisode(0, &rng);
+  EXPECT_DOUBLE_EQ(scale, 1.0);
+  const double a = shaper.Shape(3.0, 0, scale, &rng);
+  const double b = shaper.Shape(3.0, 0, scale, &rng);
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, 3.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pafeat

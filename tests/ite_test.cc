@@ -1,0 +1,103 @@
+#include "core/ite.h"
+
+#include <gtest/gtest.h>
+
+#include "core/defaults.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+TEST(IntraTaskExplorerTest, NoProposalFromEmptyTree) {
+  IteConfig config;
+  IntraTaskExplorer explorer(2, 8, config);
+  Rng rng(3);
+  SeenTaskRuntime dummy;
+  EXPECT_FALSE(explorer.Propose(0, dummy, &rng).has_value());
+}
+
+TEST(IntraTaskExplorerTest, TreesGrowWithTrajectories) {
+  IteConfig config;
+  IntraTaskExplorer explorer(2, 8, config);
+  explorer.OnTrajectory(0, {1, 0, 1}, 0.7);
+  explorer.OnTrajectory(0, {1, 1}, 0.9);
+  explorer.OnTrajectory(1, {0}, 0.3);
+  EXPECT_EQ(explorer.tree(0).root_visits(), 2);
+  EXPECT_EQ(explorer.tree(1).root_visits(), 1);
+}
+
+TEST(IntraTaskExplorerTest, ProposalsComeFromVisitedStates) {
+  IteConfig config;
+  config.use_probability = 1.0;  // always customize
+  IntraTaskExplorer explorer(1, 6, config);
+  // Populate both root children so UCT can descend.
+  for (int i = 0; i < 10; ++i) {
+    explorer.OnTrajectory(0, {1, 1, 0}, 0.8);
+    explorer.OnTrajectory(0, {0, 0, 1}, 0.2);
+  }
+  Rng rng(5);
+  SeenTaskRuntime dummy;
+  int proposals = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto start = explorer.Propose(0, dummy, &rng);
+    if (!start.has_value()) continue;
+    ++proposals;
+    // The proposed state matches its prefix.
+    EXPECT_EQ(start->state.position,
+              static_cast<int>(start->prefix.size()));
+    for (size_t i = 0; i < start->prefix.size(); ++i) {
+      EXPECT_EQ(start->state.mask[i], start->prefix[i] == 1 ? 1 : 0);
+    }
+    // Policy exploitation on by default.
+    EXPECT_FALSE(start->random_policy);
+  }
+  EXPECT_GT(proposals, 0);
+}
+
+TEST(IntraTaskExplorerTest, UseProbabilityGates) {
+  IteConfig config;
+  config.use_probability = 0.0;  // never customize
+  IntraTaskExplorer explorer(1, 6, config);
+  for (int i = 0; i < 5; ++i) {
+    explorer.OnTrajectory(0, {1, 0}, 0.5);
+    explorer.OnTrajectory(0, {0, 1}, 0.5);
+  }
+  Rng rng(7);
+  SeenTaskRuntime dummy;
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_FALSE(explorer.Propose(0, dummy, &rng).has_value());
+  }
+}
+
+TEST(IntraTaskExplorerTest, WithoutPolicyExploitationUsesRandomPolicy) {
+  IteConfig config;
+  config.use_probability = 1.0;
+  config.policy_exploitation = false;  // the w/o-PE ablation
+  IntraTaskExplorer explorer(1, 6, config);
+  for (int i = 0; i < 10; ++i) {
+    explorer.OnTrajectory(0, {1, 1}, 0.9);
+    explorer.OnTrajectory(0, {0, 0}, 0.1);
+  }
+  Rng rng(9);
+  SeenTaskRuntime dummy;
+  bool saw_proposal = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto start = explorer.Propose(0, dummy, &rng);
+    if (start.has_value()) {
+      saw_proposal = true;
+      EXPECT_TRUE(start->random_policy);
+    }
+  }
+  EXPECT_TRUE(saw_proposal);
+}
+
+TEST(IntraTaskExplorerTest, EnsureTaskGrowsTreeList) {
+  IteConfig config;
+  IntraTaskExplorer explorer(1, 6, config);
+  explorer.EnsureTask(3);
+  explorer.OnTrajectory(3, {1}, 0.6);
+  EXPECT_EQ(explorer.tree(3).root_visits(), 1);
+}
+
+}  // namespace
+}  // namespace pafeat

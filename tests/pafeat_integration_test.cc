@@ -1,0 +1,166 @@
+// End-to-end integration tests of the full PA-FEAT pipeline: generate a
+// multi-task dataset, generalize knowledge over the seen tasks, transfer to
+// unseen tasks, and check both quality and the fast-execution property.
+#include "core/pafeat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/defaults.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+
+namespace pafeat {
+namespace {
+
+struct Pipeline {
+  // `fast_config` trades reward-classifier quality for speed; the
+  // quality-sensitive tests pass false.
+  explicit Pipeline(uint64_t seed, int iterations = 250,
+                    bool fast_config = true)
+      : dataset(MakeDataset(seed)),
+        problem(dataset.table, DefaultProblemConfig(fast_config), seed + 1) {
+    PaFeatConfig config;
+    config.feat = DefaultFeatOptions(iterations, seed + 2).feat;
+    config.feat.max_feature_ratio = 0.5;
+    pafeat = std::make_unique<PaFeat>(&problem, dataset.SeenTaskIndices(),
+                                      config);
+    pafeat->Train(iterations);
+  }
+
+  static SyntheticDataset MakeDataset(uint64_t seed) {
+    SyntheticSpec spec;
+    spec.num_instances = 500;
+    spec.num_features = 16;
+    spec.num_seen_tasks = 4;
+    spec.num_unseen_tasks = 2;
+    // Keep the integration datasets easy and homogeneous: these tests check
+    // pipeline correctness, not the difficulty-spread experiments.
+    spec.label_noise = 0.35;
+    spec.difficulty_spread = 1.2;
+    spec.seed = seed;
+    return GenerateSynthetic(spec);
+  }
+
+  SyntheticDataset dataset;
+  FsProblem problem;
+  std::unique_ptr<PaFeat> pafeat;
+};
+
+TEST(PaFeatIntegrationTest, TransferredSelectionBeatsRandomRanking) {
+  Pipeline pipeline(101, 300, /*fast_config=*/false);
+  for (int unseen : pipeline.dataset.UnseenTaskIndices()) {
+    double exec = 0.0;
+    const FeatureMask mask = pipeline.pafeat->SelectFeatures(unseen, &exec);
+    EXPECT_GT(MaskCount(mask), 0);
+    EXPECT_LE(MaskCount(mask), 8);  // mfr 0.5 of 16
+    const DownstreamScore score =
+        EvaluateSubsetDownstream(&pipeline.problem, unseen, mask, 999);
+    EXPECT_GT(score.auc, 0.6) << "unseen task " << unseen;
+  }
+}
+
+TEST(PaFeatIntegrationTest, ExecutionIsMilliseconds) {
+  Pipeline pipeline(103, /*iterations=*/30);
+  double exec = 0.0;
+  pipeline.pafeat->SelectFeatures(pipeline.dataset.UnseenTaskIndices()[0],
+                                  &exec);
+  // The execution path is representation + greedy episode: well under 100ms
+  // on any machine for 16 features.
+  EXPECT_LT(exec, 0.1);
+}
+
+TEST(PaFeatIntegrationTest, SeenTaskSelectionFindsRelevantFeatures) {
+  Pipeline pipeline(101, 350, /*fast_config=*/false);
+  // On a *seen* task the learned policy should overlap the ground truth.
+  int hits = 0;
+  int total = 0;
+  for (int seen : pipeline.dataset.SeenTaskIndices()) {
+    const std::vector<float> repr =
+        pipeline.problem.ComputeTaskRepresentation(seen);
+    const FeatureMask mask =
+        pipeline.pafeat->feat().SelectForRepresentation(repr);
+    for (int f : pipeline.dataset.relevant_features[seen]) {
+      ++total;
+      if (mask[f]) ++hits;
+    }
+  }
+  // Clearly better than the ~31% chance level (a random half-budget subset
+  // of 16 features catches ~5/16 of any planted triple).
+  EXPECT_GT(static_cast<double>(hits) / total, 0.45);
+}
+
+TEST(PaFeatIntegrationTest, ItsProbabilitiesAdapt) {
+  Pipeline pipeline(109, /*iterations=*/60);
+  const IterationStats stats = pipeline.pafeat->RunIteration();
+  ASSERT_EQ(stats.task_probabilities.size(), 4u);
+  double total = 0.0;
+  for (double p : stats.task_probabilities) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PaFeatIntegrationTest, ExplorerTreesArePopulated) {
+  Pipeline pipeline(113, /*iterations=*/40);
+  const IntraTaskExplorer* explorer = pipeline.pafeat->explorer();
+  ASSERT_NE(explorer, nullptr);
+  int populated = 0;
+  for (int slot = 0; slot < 4; ++slot) {
+    if (!explorer->tree(slot).empty()) ++populated;
+  }
+  EXPECT_GT(populated, 0);
+}
+
+TEST(PaFeatIntegrationTest, AblationsDisableComponents) {
+  const SyntheticDataset dataset = Pipeline::MakeDataset(127);
+  FsProblem problem(dataset.table, DefaultProblemConfig(true), 128);
+  PaFeatConfig config;
+  config.feat = DefaultFeatOptions(20, 129).feat;
+  config.use_its = false;
+  config.use_ite = false;
+  PaFeat ablated(&problem, dataset.SeenTaskIndices(), config);
+  EXPECT_EQ(ablated.explorer(), nullptr);
+  ablated.Train(5);
+  const IterationStats stats = ablated.RunIteration();
+  // Without ITS the schedule is uniform.
+  for (double p : stats.task_probabilities) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(PaFeatIntegrationTest, FurtherTrainingImprovesOrMaintainsQuality) {
+  Pipeline pipeline(131, /*iterations=*/150);
+  const int unseen = pipeline.dataset.UnseenTaskIndices()[0];
+  const FeatureMask zero_shot = pipeline.pafeat->SelectFeatures(unseen);
+  const DownstreamScore before =
+      EvaluateSubsetDownstream(&pipeline.problem, unseen, zero_shot, 55);
+
+  std::vector<int> callback_iterations;
+  const FeatureMask after_mask = pipeline.pafeat->FurtherTrain(
+      unseen, /*iterations=*/120, /*callback_every=*/40,
+      [&](int iteration, const FeatureMask& mask) {
+        callback_iterations.push_back(iteration);
+        EXPECT_EQ(mask.size(), static_cast<size_t>(16));
+      });
+  EXPECT_EQ(callback_iterations, (std::vector<int>{40, 80, 120}));
+
+  const DownstreamScore after =
+      EvaluateSubsetDownstream(&pipeline.problem, unseen, after_mask, 55);
+  // Further training must not collapse quality (it usually improves it).
+  EXPECT_GT(after.auc, before.auc - 0.15);
+}
+
+TEST(PaFeatIntegrationTest, EvaluateMethodPipelineProducesAverages) {
+  const SyntheticDataset dataset = Pipeline::MakeDataset(137);
+  FsProblem problem(dataset.table, DefaultProblemConfig(true), 138);
+  FeatBasedOptions options = DefaultFeatOptions(60, 139);
+  PaFeatSelector selector(options);
+  const MethodEvaluation evaluation =
+      EvaluateMethod(&problem, dataset.SeenTaskIndices(),
+                     dataset.UnseenTaskIndices(), 0.5, &selector, 140);
+  EXPECT_EQ(evaluation.method, "PA-FEAT");
+  EXPECT_GT(evaluation.avg_auc, 0.5);
+  EXPECT_GE(evaluation.avg_f1, 0.0);
+  EXPECT_GT(evaluation.mean_iteration_seconds, 0.0);
+  EXPECT_GT(evaluation.avg_execution_seconds, 0.0);
+  EXPECT_EQ(evaluation.masks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pafeat

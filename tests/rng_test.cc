@@ -1,0 +1,172 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pafeat {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.Uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int count = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[i] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<int> sample = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(37);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleDiscreteSingleElement) {
+  Rng rng(43);
+  EXPECT_EQ(rng.SampleDiscrete({2.0}), 0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(1);  // parent state advanced -> different stream
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (child.Next() != child2.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+class RngUniformIntSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngUniformIntSweep, AllResiduesReachable) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  std::set<int> seen;
+  for (int i = 0; i < 200 * n; ++i) seen.insert(rng.UniformInt(n));
+  EXPECT_EQ(static_cast<int>(seen.size()), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngUniformIntSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace pafeat

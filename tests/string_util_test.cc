@@ -1,0 +1,89 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pafeat {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" inner space kept "), "inner space kept");
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 4), "1.0000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-flag", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  int value = 0;
+  EXPECT_TRUE(ParseInt("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ParseInt("4x", &value));
+  EXPECT_FALSE(ParseInt("", &value));
+  EXPECT_FALSE(ParseInt("3.5", &value));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5", &value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("", &value));
+}
+
+}  // namespace
+}  // namespace pafeat

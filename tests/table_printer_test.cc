@@ -1,0 +1,68 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace pafeat {
+namespace {
+
+TEST(TablePrinterTest, TextContainsAllCells) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"alpha", "1"});
+  printer.AddRow({"beta", "2"});
+  const std::string text = printer.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TextAlignsColumns) {
+  TablePrinter printer({"a", "b"});
+  printer.AddRow({"longvalue", "x"});
+  const std::string text = printer.ToText();
+  // Every line ends at a consistent "b"/"x" column.
+  const size_t header_b = text.find("b");
+  const size_t row_x = text.find("x");
+  EXPECT_EQ(text.substr(0, header_b).size(),
+            text.substr(text.find("longvalue"), row_x - text.find("longvalue"))
+                .size());
+}
+
+TEST(TablePrinterTest, DoubleRowFormatsDigits) {
+  TablePrinter printer({"method", "f1", "auc"});
+  printer.AddRow("PA-FEAT", {0.75123, 0.9}, 3);
+  const std::string text = printer.ToText();
+  EXPECT_NE(text.find("0.751"), std::string::npos);
+  EXPECT_NE(text.find("0.900"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvBasics) {
+  TablePrinter printer({"a", "b"});
+  printer.AddRow({"1", "2"});
+  EXPECT_EQ(printer.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter printer({"text"});
+  printer.AddRow({"has,comma"});
+  printer.AddRow({"has\"quote"});
+  const std::string csv = printer.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter printer({"x"});
+  EXPECT_EQ(printer.num_rows(), 0);
+  printer.AddRow({"1"});
+  printer.AddRow({"2"});
+  EXPECT_EQ(printer.num_rows(), 2);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowWidthDies) {
+  TablePrinter printer({"a", "b"});
+  EXPECT_DEATH(printer.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace pafeat
