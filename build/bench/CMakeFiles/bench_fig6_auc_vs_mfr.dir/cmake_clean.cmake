@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_auc_vs_mfr.dir/bench_fig6_auc_vs_mfr.cc.o"
+  "CMakeFiles/bench_fig6_auc_vs_mfr.dir/bench_fig6_auc_vs_mfr.cc.o.d"
+  "bench_fig6_auc_vs_mfr"
+  "bench_fig6_auc_vs_mfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_auc_vs_mfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_its_difficulty.dir/bench_fig8_its_difficulty.cc.o"
+  "CMakeFiles/bench_fig8_its_difficulty.dir/bench_fig8_its_difficulty.cc.o.d"
+  "bench_fig8_its_difficulty"
+  "bench_fig8_its_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_its_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_further_training.dir/bench_fig9_further_training.cc.o"
+  "CMakeFiles/bench_fig9_further_training.dir/bench_fig9_further_training.cc.o.d"
+  "bench_fig9_further_training"
+  "bench_fig9_further_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_further_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_serving.dir/checkpoint_serving.cpp.o"
+  "CMakeFiles/example_checkpoint_serving.dir/checkpoint_serving.cpp.o.d"
+  "example_checkpoint_serving"
+  "example_checkpoint_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

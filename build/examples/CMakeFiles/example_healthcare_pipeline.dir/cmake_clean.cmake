@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_healthcare_pipeline.dir/healthcare_pipeline.cpp.o"
+  "CMakeFiles/example_healthcare_pipeline.dir/healthcare_pipeline.cpp.o.d"
+  "example_healthcare_pipeline"
+  "example_healthcare_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_healthcare_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pafeat_tool.dir/pafeat_tool.cpp.o"
+  "CMakeFiles/example_pafeat_tool.dir/pafeat_tool.cpp.o.d"
+  "example_pafeat_tool"
+  "example_pafeat_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pafeat_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webpage_categorization.dir/webpage_categorization.cpp.o"
+  "CMakeFiles/example_webpage_categorization.dir/webpage_categorization.cpp.o.d"
+  "example_webpage_categorization"
+  "example_webpage_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webpage_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_webpage_categorization.
+# This may be replaced when dependencies are built.

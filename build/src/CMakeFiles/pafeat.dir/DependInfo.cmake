@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ant_td.cc" "src/CMakeFiles/pafeat.dir/baselines/ant_td.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/ant_td.cc.o.d"
+  "/root/repo/src/baselines/feat_based.cc" "src/CMakeFiles/pafeat.dir/baselines/feat_based.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/feat_based.cc.o.d"
+  "/root/repo/src/baselines/grro_ls.cc" "src/CMakeFiles/pafeat.dir/baselines/grro_ls.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/grro_ls.cc.o.d"
+  "/root/repo/src/baselines/kbest.cc" "src/CMakeFiles/pafeat.dir/baselines/kbest.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/kbest.cc.o.d"
+  "/root/repo/src/baselines/marlfs.cc" "src/CMakeFiles/pafeat.dir/baselines/marlfs.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/marlfs.cc.o.d"
+  "/root/repo/src/baselines/mdfs.cc" "src/CMakeFiles/pafeat.dir/baselines/mdfs.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/mdfs.cc.o.d"
+  "/root/repo/src/baselines/no_fs.cc" "src/CMakeFiles/pafeat.dir/baselines/no_fs.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/no_fs.cc.o.d"
+  "/root/repo/src/baselines/rfe.cc" "src/CMakeFiles/pafeat.dir/baselines/rfe.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/rfe.cc.o.d"
+  "/root/repo/src/baselines/sadrlfs.cc" "src/CMakeFiles/pafeat.dir/baselines/sadrlfs.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/baselines/sadrlfs.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/pafeat.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/pafeat.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/pafeat.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/pafeat.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/pafeat.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/pafeat.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/defaults.cc" "src/CMakeFiles/pafeat.dir/core/defaults.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/defaults.cc.o.d"
+  "/root/repo/src/core/etree.cc" "src/CMakeFiles/pafeat.dir/core/etree.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/etree.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/pafeat.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/pafeat.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/feat.cc" "src/CMakeFiles/pafeat.dir/core/feat.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/feat.cc.o.d"
+  "/root/repo/src/core/greedy_policy.cc" "src/CMakeFiles/pafeat.dir/core/greedy_policy.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/greedy_policy.cc.o.d"
+  "/root/repo/src/core/ite.cc" "src/CMakeFiles/pafeat.dir/core/ite.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/ite.cc.o.d"
+  "/root/repo/src/core/its.cc" "src/CMakeFiles/pafeat.dir/core/its.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/its.cc.o.d"
+  "/root/repo/src/core/multi_run.cc" "src/CMakeFiles/pafeat.dir/core/multi_run.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/multi_run.cc.o.d"
+  "/root/repo/src/core/pafeat.cc" "src/CMakeFiles/pafeat.dir/core/pafeat.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/pafeat.cc.o.d"
+  "/root/repo/src/core/problem.cc" "src/CMakeFiles/pafeat.dir/core/problem.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/core/problem.cc.o.d"
+  "/root/repo/src/data/arff.cc" "src/CMakeFiles/pafeat.dir/data/arff.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/arff.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/pafeat.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/feature_mask.cc" "src/CMakeFiles/pafeat.dir/data/feature_mask.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/feature_mask.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/pafeat.dir/data/split.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/pafeat.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/pafeat.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/pafeat.dir/data/table.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/data/table.cc.o.d"
+  "/root/repo/src/linalg/conjugate_gradient.cc" "src/CMakeFiles/pafeat.dir/linalg/conjugate_gradient.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/linalg/conjugate_gradient.cc.o.d"
+  "/root/repo/src/linalg/knn_graph.cc" "src/CMakeFiles/pafeat.dir/linalg/knn_graph.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/linalg/knn_graph.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/CMakeFiles/pafeat.dir/linalg/sparse.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/linalg/sparse.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/CMakeFiles/pafeat.dir/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/ml/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/pafeat.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/masked_dnn.cc" "src/CMakeFiles/pafeat.dir/ml/masked_dnn.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/ml/masked_dnn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/pafeat.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/subset_evaluator.cc" "src/CMakeFiles/pafeat.dir/ml/subset_evaluator.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/ml/subset_evaluator.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/pafeat.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/dueling_net.cc" "src/CMakeFiles/pafeat.dir/nn/dueling_net.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/nn/dueling_net.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/pafeat.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/pafeat.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/rl/dqn_agent.cc" "src/CMakeFiles/pafeat.dir/rl/dqn_agent.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/rl/dqn_agent.cc.o.d"
+  "/root/repo/src/rl/fs_env.cc" "src/CMakeFiles/pafeat.dir/rl/fs_env.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/rl/fs_env.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/CMakeFiles/pafeat.dir/rl/replay_buffer.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/rl/replay_buffer.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/pafeat.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/pafeat.dir/tensor/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

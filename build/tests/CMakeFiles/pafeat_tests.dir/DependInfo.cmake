@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arff_test.cc" "tests/CMakeFiles/pafeat_tests.dir/arff_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/arff_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/pafeat_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/pafeat_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/pafeat_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/pafeat_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/etree_test.cc" "tests/CMakeFiles/pafeat_tests.dir/etree_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/etree_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/pafeat_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/pafeat_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/feat_baselines_test.cc" "tests/CMakeFiles/pafeat_tests.dir/feat_baselines_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/feat_baselines_test.cc.o.d"
+  "/root/repo/tests/feat_test.cc" "tests/CMakeFiles/pafeat_tests.dir/feat_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/feat_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/pafeat_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/greedy_policy_test.cc" "tests/CMakeFiles/pafeat_tests.dir/greedy_policy_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/greedy_policy_test.cc.o.d"
+  "/root/repo/tests/ite_test.cc" "tests/CMakeFiles/pafeat_tests.dir/ite_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/ite_test.cc.o.d"
+  "/root/repo/tests/its_test.cc" "tests/CMakeFiles/pafeat_tests.dir/its_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/its_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/pafeat_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/pafeat_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/pafeat_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/pafeat_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/pafeat_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/pafeat_integration_test.cc" "tests/CMakeFiles/pafeat_tests.dir/pafeat_integration_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/pafeat_integration_test.cc.o.d"
+  "/root/repo/tests/problem_test.cc" "tests/CMakeFiles/pafeat_tests.dir/problem_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/problem_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/pafeat_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rl_test.cc" "tests/CMakeFiles/pafeat_tests.dir/rl_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/rl_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/pafeat_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/pafeat_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/table_printer_test.cc" "tests/CMakeFiles/pafeat_tests.dir/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/pafeat_tests.dir/table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pafeat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
