@@ -32,6 +32,74 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_TransposedMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.TransposedMatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_TransposedMatMul)->Arg(128);
+
+void BM_MatMulTransposed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulTransposed(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposed)->Arg(128);
+
+// The actual training hot-path shapes: tall-skinny products of a batch of
+// 32 observations against a 64-unit layer, parameterized by observation
+// dimension (2m + 3 for the paper datasets: Emotions=147, Water=35,
+// Scene=597, Mediamill=243, and the synthetic 2043-wide extreme).
+
+// Forward: batch[32 x d] * W[64 x d]^T (the Mlp::Forward layer product).
+void BM_GemmForwardTallSkinny(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(14);
+  const Matrix batch = Matrix::RandomNormal(32, d, 1.0f, &rng);
+  const Matrix weight = Matrix::RandomNormal(64, d, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.MatMulTransposed(weight));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 32 * 64 * d);
+}
+BENCHMARK(BM_GemmForwardTallSkinny)->Arg(35)->Arg(147)->Arg(209)->Arg(2043);
+
+// Backward, weight gradient: grad[32 x 64]^T * input[32 x d].
+void BM_GemmBackwardWeightGrad(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(15);
+  const Matrix grad = Matrix::RandomNormal(32, 64, 1.0f, &rng);
+  const Matrix input = Matrix::RandomNormal(32, d, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grad.TransposedMatMul(input));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 64 * 32 * d);
+}
+BENCHMARK(BM_GemmBackwardWeightGrad)->Arg(35)->Arg(147)->Arg(209)->Arg(2043);
+
+// Backward, input gradient: grad[32 x 64] * W[64 x d].
+void BM_GemmBackwardInputGrad(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(16);
+  const Matrix grad = Matrix::RandomNormal(32, 64, 1.0f, &rng);
+  const Matrix weight = Matrix::RandomNormal(64, d, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grad.MatMul(weight));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 32 * 64 * d);
+}
+BENCHMARK(BM_GemmBackwardInputGrad)->Arg(35)->Arg(147)->Arg(209)->Arg(2043);
+
 void BM_MlpForward(benchmark::State& state) {
   const int input_dim = static_cast<int>(state.range(0));
   Rng rng(2);

@@ -81,7 +81,7 @@ int RunDemo(const std::string& data_path) {
 
 int RunTrain(const Table& table, const std::string& labels_csv,
              const std::string& out_path, int iterations, double mfr,
-             int seed) {
+             int seed, int num_threads) {
   std::vector<int> seen;
   for (const std::string& raw : Split(labels_csv, ',')) {
     const int index = LabelIndexByName(table, Trim(raw));
@@ -103,6 +103,11 @@ int RunTrain(const Table& table, const std::string& labels_csv,
   config.feat = DefaultFeatOptions(iterations,
                                    static_cast<uint64_t>(seed) + 1).feat;
   config.feat.max_feature_ratio = mfr;
+  if (num_threads < 1) {
+    std::fprintf(stderr, "--num_threads must be >= 1\n");
+    return 1;
+  }
+  config.feat.num_threads = num_threads;
   PaFeat pafeat(&problem, seen, config);
   std::printf("training on %zu seen tasks, %d iterations...\n", seen.size(),
               iterations);
@@ -203,6 +208,7 @@ int main(int argc, char** argv) {
   int iterations = 400;
   double mfr = 0.5;
   int seed = 7;
+  int num_threads = 1;
   int arff_labels = 1;
   FlagSet flags;
   flags.AddString("data", &data, "CSV or .arff dataset path");
@@ -213,6 +219,8 @@ int main(int argc, char** argv) {
   flags.AddInt("iterations", &iterations, "train: iterations");
   flags.AddDouble("mfr", &mfr, "train: max feature ratio");
   flags.AddInt("seed", &seed, "random seed");
+  flags.AddInt("num_threads", &num_threads,
+               "train: episode threads (results are identical at any value)");
   flags.AddInt("arff_labels", &arff_labels,
                "ARFF: number of trailing label attributes");
   if (!flags.Parse(argc - 1, argv + 1)) return 1;
@@ -226,7 +234,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (command == "train") {
-    return RunTrain(*table, labels, out, iterations, mfr, seed);
+    return RunTrain(*table, labels, out, iterations, mfr, seed, num_threads);
   }
   if (command == "select") return RunSelect(*table, label, agent, seed);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());

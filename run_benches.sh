@@ -1,5 +1,9 @@
 #!/bin/bash
-# Runs every table/figure bench at default scale plus the micro suite.
+# Runs every table/figure bench at default scale plus the micro suite, then
+# refreshes the machine-readable GEMM/NN perf trajectory at
+# bench/baselines/BENCH_gemm.json (google-benchmark JSON; commit the diff so
+# every PR records its perf delta — the seed's numbers are frozen in
+# bench/baselines/BENCH_gemm_seed.json).
 set -u
 cd "$(dirname "$0")"
 for b in build/bench/bench_table1_datasets build/bench/bench_fig5_f1_vs_mfr \
@@ -14,3 +18,15 @@ for b in build/bench/bench_table1_datasets build/bench/bench_fig5_f1_vs_mfr \
   $b 2>&1
   echo
 done
+
+echo "===================================================================="
+echo "== GEMM/NN kernel trajectory -> bench/baselines/BENCH_gemm.json"
+echo "===================================================================="
+mkdir -p bench/baselines
+build/bench/bench_micro \
+  --benchmark_filter='BM_MatMul|BM_TransposedMatMul|BM_MatMulTransposed|BM_Gemm|BM_Mlp' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out=bench/baselines/BENCH_gemm.json > /dev/null 2>&1 \
+  && echo "wrote bench/baselines/BENCH_gemm.json"

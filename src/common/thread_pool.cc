@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+namespace {
+// True while this thread is executing inside a ParallelFor (as submitter or
+// pool worker). Nested ParallelFor calls then run inline: calling
+// try_lock() on a mutex the thread already owns would be UB, and a nested
+// job would clobber the active job's state.
+thread_local bool tls_inside_parallel_for = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  PF_CHECK_GE(num_workers, 0);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    job_available_.wait(lock, [&]() {
+      return shutdown_ || (job_active_ && job_epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    seen_epoch = job_epoch_;
+    if (job_joined_ >= job_max_workers_) continue;  // job's worker cap reached
+    ++job_joined_;
+    ++job_runners_;
+    lock.unlock();
+    tls_inside_parallel_for = true;
+    RunJobShare();
+    tls_inside_parallel_for = false;
+    lock.lock();
+    if (--job_runners_ == 0 && pending_.load() == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunJobShare() {
+  // job_fn_ / job_count_ are stable while any runner is inside the job: the
+  // submitter clears them only after job_runners_ drops to zero.
+  const std::function<void(int)>& fn = *job_fn_;
+  const int count = job_count_;
+  while (true) {
+    const int i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    fn(i);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::ParallelFor(int count, int max_parallelism,
+                             const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int parallelism =
+      std::min({max_parallelism, num_workers() + 1, count});
+  // Inline fast path: nothing to distribute, a nested call from inside a
+  // pool task (tls guard — try_lock on an owned mutex would be UB), or
+  // another thread already owns the pool. Running on the caller keeps
+  // nested parallelism deadlock-free by construction.
+  if (parallelism <= 1 || tls_inside_parallel_for ||
+      !submit_mutex_.try_lock()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_count_ = count;
+    job_max_workers_ = parallelism - 1;  // the caller is the extra executor
+    job_joined_ = 0;
+    job_runners_ = 1;  // the caller
+    next_index_.store(0, std::memory_order_relaxed);
+    pending_.store(count, std::memory_order_relaxed);
+    job_active_ = true;
+    ++job_epoch_;
+  }
+  job_available_.notify_all();
+  tls_inside_parallel_for = true;
+  RunJobShare();
+  tls_inside_parallel_for = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    --job_runners_;
+    // Wait until every index completed AND every worker left the job, so
+    // job_fn_/job_count_ and the index counter can be reused safely.
+    job_done_.wait(lock, [&]() {
+      return pending_.load() == 0 && job_runners_ == 0;
+    });
+    job_active_ = false;
+    job_fn_ = nullptr;
+  }
+  submit_mutex_.unlock();
+}
+
+namespace {
+ThreadPool* NewGlobalPool() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  // The calling thread participates in every job, so hw - 1 workers saturate
+  // the machine. Leaked deliberately: worker threads must outlive any static
+  // destructor that might still issue a GEMM.
+  return new ThreadPool(std::max(0, hw - 1));
+}
+}  // namespace
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = NewGlobalPool();
+  return pool;
+}
+
+void ThreadPool::EnsureGlobalWorkers(int num_workers) {
+  ThreadPool* pool = Global();
+  // Serialize against active jobs; workers_ is only read by ParallelFor
+  // while holding submit_mutex_.
+  std::lock_guard<std::mutex> submit_lock(pool->submit_mutex_);
+  while (pool->num_workers() < num_workers) {
+    pool->workers_.emplace_back([pool]() { pool->WorkerLoop(); });
+  }
+}
+
+}  // namespace pafeat

@@ -1,0 +1,87 @@
+#ifndef PAFEAT_COMMON_THREAD_POOL_H_
+#define PAFEAT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pafeat {
+
+// Persistent worker-thread pool shared process-wide: FEAT's buffer-filling
+// phase submits its episode plans here instead of spawning fresh
+// std::threads every iteration, and the tensor kernel layer splits large
+// GEMMs into row panels over the same threads. Workers are created once and
+// parked on a condition variable between jobs, so the per-iteration cost is
+// a wake/sleep instead of thread construction.
+//
+// Determinism contract: ParallelFor only distributes *indices*; which thread
+// executes an index never feeds back into results. Callers that need
+// bit-identical output across thread counts (Feat::RunIteration, the GEMM
+// row split) must keep any order-sensitive work out of the parallel region —
+// FEAT plans episodes sequentially before the ParallelFor and commits
+// results in plan order after it; GEMM panels write disjoint output rows
+// with a fixed per-element accumulation order.
+class ThreadPool {
+ public:
+  // Creates `num_workers` parked threads (0 is valid: ParallelFor then runs
+  // entirely on the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for every i in [0, count), distributing indices over at most
+  // `max_parallelism` executors (the calling thread participates and counts
+  // toward the cap). Blocks until every index has finished. Reentrant calls
+  // from inside a pool task — and concurrent calls from other threads while
+  // a job is active — degrade gracefully to running inline on the caller,
+  // so nested parallelism cannot deadlock.
+  void ParallelFor(int count, int max_parallelism,
+                   const std::function<void(int)>& fn);
+
+  // The process-wide shared pool, created on first use with
+  // hardware_concurrency - 1 workers (the caller is the extra executor).
+  static ThreadPool* Global();
+
+  // Grows the global pool to at least `num_workers` workers (never shrinks;
+  // a live pool's parked threads are cheap). Used by FeatConfig wiring so
+  // `num_threads = 8` delivers eight executors even on first use.
+  static void EnsureGlobalWorkers(int num_workers);
+
+ private:
+  void WorkerLoop();
+  // Pulls indices from the active job until it is drained.
+  void RunJobShare();
+
+  std::mutex mutex_;
+  std::condition_variable job_available_;
+  std::condition_variable job_done_;
+
+  // Active job state (valid while job_active_ is true; the plain ints are
+  // guarded by mutex_).
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_count_ = 0;
+  int job_max_workers_ = 0;  // pool workers allowed to join the current job
+  int job_joined_ = 0;       // pool workers that joined the current job
+  int job_runners_ = 0;      // executors currently inside the job
+  std::atomic<int> next_index_{0};
+  std::atomic<int> pending_{0};
+  bool job_active_ = false;
+  uint64_t job_epoch_ = 0;
+  bool shutdown_ = false;
+
+  // Serializes ParallelFor callers: one job at a time; losers run inline.
+  std::mutex submit_mutex_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_COMMON_THREAD_POOL_H_

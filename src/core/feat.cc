@@ -1,10 +1,9 @@
 #include "core/feat.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/greedy_policy.h"
 #include "core/its.h"
@@ -48,6 +47,13 @@ Feat::Feat(FsProblem* problem, std::vector<int> seen_label_indices,
     : problem_(problem), config_(config), rng_(config.seed) {
   PF_CHECK(problem != nullptr);
   PF_CHECK(!seen_label_indices.empty());
+
+  // Episode collection shares the persistent process-wide pool (no thread
+  // spawn/join per iteration); make sure it can deliver the configured
+  // parallelism (the iteration's own thread is the extra executor).
+  if (config_.num_threads > 1) {
+    ThreadPool::EnsureGlobalWorkers(config_.num_threads - 1);
+  }
 
   for (int label_index : seen_label_indices) AddTask(label_index);
 
@@ -197,19 +203,12 @@ IterationStats Feat::RunIteration() {
       trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
     }
   } else {
-    std::vector<std::thread> workers;
-    std::atomic<int> next_episode{0};
-    workers.reserve(num_threads);
-    for (int w = 0; w < num_threads; ++w) {
-      workers.emplace_back([&]() {
-        while (true) {
-          const int i = next_episode.fetch_add(1);
-          if (i >= num_episodes) return;
-          trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
+    // Submit the plans to the persistent pool instead of spawning threads:
+    // the plan-then-commit structure above/below keeps results bit-identical
+    // regardless of which pool thread runs which episode.
+    ThreadPool::Global()->ParallelFor(num_episodes, num_threads, [&](int i) {
+      trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
+    });
   }
 
   for (int i = 0; i < num_episodes; ++i) {

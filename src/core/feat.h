@@ -22,10 +22,14 @@ struct FeatConfig {
   double max_feature_ratio = 0.5;  // mfr (Algorithm 1 line 10)
   RewardMode reward_mode = RewardMode::kDelta;
   int replay_capacity = 4096;    // transitions per task buffer B^k
-  // Worker threads for the buffer-filling phase (the paper's N parallel
-  // environments / "Resources"). Results are deterministic for a fixed
-  // seed regardless of the thread count: episodes are planned sequentially
-  // (task choice, initial state, per-episode RNG) and committed in order.
+  // Executors for the buffer-filling phase (the paper's N parallel
+  // environments / "Resources"). Episodes run on the persistent
+  // process-wide ThreadPool — the Feat constructor grows it to at least
+  // num_threads - 1 workers (the iterating thread participates), so this is
+  // also the pool-size wiring. Results are deterministic for a fixed seed
+  // regardless of the thread count: episodes are planned sequentially
+  // (task choice, initial state, per-episode RNG), executed on the pool,
+  // and committed in plan order.
   int num_threads = 1;
   int recent_returns_window = 32;
   DqnConfig dqn;                 // dqn.net.input_dim is filled automatically

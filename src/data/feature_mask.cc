@@ -37,6 +37,27 @@ std::string MaskKey(const FeatureMask& mask) {
   return key;
 }
 
+PackedMask PackMask(const FeatureMask& mask) {
+  PackedMask packed((mask.size() + 63) / 64, 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) packed[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  return packed;
+}
+
+size_t PackedMaskHash::operator()(const PackedMask& packed) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull + packed.size();
+  for (uint64_t word : packed) {
+    uint64_t x = word + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    h = (h ^ x) * 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  }
+  return static_cast<size_t>(h);
+}
+
 std::string MaskToString(const FeatureMask& mask) {
   std::string out = "{";
   bool first = true;

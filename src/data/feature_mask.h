@@ -21,8 +21,21 @@ std::vector<int> MaskToIndices(const FeatureMask& mask);
 // Mask of size `num_features` with the given indices set.
 FeatureMask IndicesToMask(const std::vector<int>& indices, int num_features);
 
-// Byte-string key for hash maps (the reward cache).
+// Byte-string key for hash maps that mix a mask with other bytes (e.g. the
+// feat_based state memo). The hot reward-cache path uses PackMask instead.
 std::string MaskKey(const FeatureMask& mask);
+
+// A mask packed 64 bits per word: the reward-cache key. Compared to the
+// byte-string MaskKey it hashes/compares eight features per op and skips
+// std::string's character-wise hashing.
+using PackedMask = std::vector<uint64_t>;
+
+PackedMask PackMask(const FeatureMask& mask);
+
+// splitmix64-finalizer-based mix over the packed words, for unordered_map.
+struct PackedMaskHash {
+  size_t operator()(const PackedMask& packed) const;
+};
 
 // Human-readable form such as "{0, 3, 7}" for logs and tests.
 std::string MaskToString(const FeatureMask& mask);

@@ -21,7 +21,7 @@ SubsetEvaluator::SubsetEvaluator(const Matrix* features,
 
 double SubsetEvaluator::Reward(const FeatureMask& mask) const {
   PF_CHECK_EQ(static_cast<int>(mask.size()), features_->cols());
-  const std::string key = MaskKey(mask);
+  PackedMask key = PackMask(mask);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);

@@ -21,7 +21,9 @@ namespace pafeat {
 // Thread-safe: the cache is guarded by a mutex so FEAT's parallel episode
 // collection can share one evaluator per task. Rewards are computed outside
 // the lock (concurrent misses on the same mask may compute twice — benign,
-// since the value is deterministic).
+// since the value is deterministic). The cache key is the PackedMask bitset
+// form — every environment step probes this map, so key hashing/compares
+// run over 64-bit words, not bytes.
 class SubsetEvaluator {
  public:
   SubsetEvaluator(const Matrix* features, std::vector<float> labels,
@@ -44,7 +46,7 @@ class SubsetEvaluator {
   std::vector<int> eval_rows_;
   const MaskedDnnClassifier* classifier_;
   mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, double> cache_;
+  mutable std::unordered_map<PackedMask, double, PackedMaskHash> cache_;
   mutable long long hits_ = 0;
   mutable long long misses_ = 0;
 };

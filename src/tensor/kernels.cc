@@ -1,0 +1,155 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace pafeat {
+namespace kernels {
+
+// Single-threaded cores instantiated from kernels_impl.inl.
+namespace generic {
+void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+}  // namespace generic
+
+#ifdef PAFEAT_HAVE_AVX2_TU
+namespace avx2 {
+void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+}  // namespace avx2
+#endif
+
+namespace {
+
+using GemmFn = void (*)(int, int, int, const float*, int, const float*, int,
+                        float*, int);
+
+struct Dispatch {
+  GemmFn nn;
+  GemmFn tn;
+  GemmFn nt;
+  bool avx2 = false;
+};
+
+const Dispatch& Impl() {
+  static const Dispatch dispatch = []() {
+#ifdef PAFEAT_HAVE_AVX2_TU
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return Dispatch{avx2::GemmNN, avx2::GemmTN, avx2::GemmNT, true};
+    }
+#endif
+    return Dispatch{generic::GemmNN, generic::GemmTN, generic::GemmNT, false};
+  }();
+  return dispatch;
+}
+
+// Row panels handed to the pool start at multiples of the register tile, so
+// each row runs through exactly the code path it takes single-threaded —
+// part of the bit-identical-across-thread-counts contract.
+constexpr int kPanelAlign = 4;
+// Below ~2 MFLOP (2*m*n*p) the pool wake costs more than the split saves.
+constexpr long long kMinFlopsPerPanel = 2'000'000;
+
+int NumPanels(int m, long long flops) {
+  if (m < 2 * kPanelAlign || flops < 2 * kMinFlopsPerPanel) return 1;
+  ThreadPool* pool = ThreadPool::Global();
+  const long long executors = pool->num_workers() + 1;
+  if (executors <= 1) return 1;
+  const long long by_work = flops / kMinFlopsPerPanel;
+  const long long by_rows = (m + kPanelAlign - 1) / kPanelAlign;
+  return static_cast<int>(std::min({executors, by_work, by_rows}));
+}
+
+// Splits the output rows [0, m) into aligned panels and runs `core` on each
+// via the shared pool. a_row_stride is what one output row advances A by:
+// lda for GemmNN/GemmNT (A rows are C rows) and 1 for GemmTN (A *columns*
+// are C rows).
+void RunRowPanels(GemmFn core, int panels, int m, int n, int p,
+                  const float* a, int lda, std::size_t a_row_stride,
+                  const float* b, int ldb, float* c, int ldc) {
+  const int rows_per =
+      ((m + panels - 1) / panels + kPanelAlign - 1) / kPanelAlign *
+      kPanelAlign;
+  ThreadPool::Global()->ParallelFor(panels, panels, [&](int index) {
+    const int i0 = index * rows_per;
+    const int rows = std::min(rows_per, m - i0);
+    if (rows <= 0) return;
+    core(rows, n, p, a + i0 * a_row_stride, lda, b, ldb,
+         c + static_cast<std::size_t>(i0) * ldc, ldc);
+  });
+}
+
+}  // namespace
+
+void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || p <= 0) return;
+  const GemmFn core = Impl().nn;
+  const int panels = NumPanels(m, 2LL * m * n * p);
+  if (panels <= 1) {
+    core(m, n, p, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  RunRowPanels(core, panels, m, n, p, a, lda, static_cast<std::size_t>(lda),
+               b, ldb, c, ldc);
+}
+
+void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || p <= 0) return;
+  const GemmFn core = Impl().tn;
+  const int panels = NumPanels(m, 2LL * m * n * p);
+  if (panels <= 1) {
+    core(m, n, p, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  RunRowPanels(core, panels, m, n, p, a, lda, /*a_row_stride=*/1, b, ldb, c,
+               ldc);
+}
+
+// Below this many output rows the one-off O(n*p) transpose of B cannot
+// amortize against the 2*m*n*p flops, so the dot-product core wins. The
+// threshold is evaluated on the FULL m before any pool split — strategy (and
+// therefore summation order) must never depend on how rows were partitioned.
+constexpr int kNtTransposeMinRows = 8;
+
+void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || p <= 0) return;
+  if (m < kNtTransposeMinRows) {
+    Impl().nt(m, n, p, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // C += A * B^T == GemmNN(A, B^T): materialize B^T once and reuse the NN
+  // core, whose row-broadcast inner loop vectorizes far better than a
+  // dot-product kernel (the reduction axis becomes the contiguous one).
+  std::vector<float> bt(static_cast<std::size_t>(p) * n);
+  for (int j = 0; j < n; ++j) {
+    const float* src = b + static_cast<std::size_t>(j) * ldb;
+    for (int k = 0; k < p; ++k) bt[static_cast<std::size_t>(k) * n + j] = src[k];
+  }
+  const GemmFn core = Impl().nn;
+  const int panels = NumPanels(m, 2LL * m * n * p);
+  if (panels <= 1) {
+    core(m, n, p, a, lda, bt.data(), n, c, ldc);
+    return;
+  }
+  RunRowPanels(core, panels, m, n, p, a, lda, static_cast<std::size_t>(lda),
+               bt.data(), n, c, ldc);
+}
+
+bool UsingAvx2() { return Impl().avx2; }
+
+}  // namespace kernels
+}  // namespace pafeat

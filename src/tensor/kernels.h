@@ -1,0 +1,44 @@
+#ifndef PAFEAT_TENSOR_KERNELS_H_
+#define PAFEAT_TENSOR_KERNELS_H_
+
+namespace pafeat {
+namespace kernels {
+
+// Blocked, vectorization-friendly GEMM kernels on raw row-major buffers —
+// the numeric hot path under Matrix, and therefore under nn/, ml/, rl/ and
+// the mdfs baseline. All three variants *accumulate* into C (callers pass a
+// zeroed buffer for a plain product):
+//
+//   GemmNN:  C[m x n] += A[m x p]        * B[p x n]
+//   GemmTN:  C[m x n] += A[p x m]^T      * B[p x n]
+//   GemmNT:  C[m x n] += A[m x p]        * B[n x p]^T
+//
+// lda/ldb/ldc are row strides in elements (>= the row length), so callers
+// can multiply sub-panels in place; m, n or p of zero is a no-op.
+//
+// Implementation notes (see DESIGN.md "Tensor kernel layer"):
+//  * Cache-blocked (column panels + k panels) with a 4-row register-tiled,
+//    k-unrolled micro-kernel whose inner loop auto-vectorizes; GemmNT uses
+//    a lane-split dot-product kernel instead so no operand transpose is
+//    ever materialized.
+//  * Two instantiations of the same micro-kernels are compiled — a portable
+//    one and an AVX2+FMA one — and dispatched once per process by CPUID.
+//  * Large products additionally split their output-row panels across the
+//    process-wide ThreadPool. Panels are disjoint, panel boundaries are
+//    multiples of the register tile, and every element keeps a fixed
+//    accumulation order, so results are bit-identical at any thread count.
+void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
+            int ldb, float* c, int ldc);
+
+// True when the AVX2+FMA instantiation is compiled in and selected by the
+// runtime CPU check (exposed for tests and bench labeling).
+bool UsingAvx2();
+
+}  // namespace kernels
+}  // namespace pafeat
+
+#endif  // PAFEAT_TENSOR_KERNELS_H_

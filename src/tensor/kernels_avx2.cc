@@ -1,0 +1,14 @@
+// AVX2+FMA instantiation of the GEMM micro-kernels. This translation unit
+// is compiled with -mavx2 -mfma (see src/CMakeLists.txt) on x86-64 only;
+// kernels.cc calls into it strictly behind a __builtin_cpu_supports check,
+// so no AVX2 instruction executes on hardware without it.
+
+#include <cstddef>
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define PAFEAT_GEMM_NAMESPACE avx2
+#include "tensor/kernels_impl.inl"
+#undef PAFEAT_GEMM_NAMESPACE
+
+#endif  // x86-64

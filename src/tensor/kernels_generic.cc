@@ -1,0 +1,9 @@
+#include <cstddef>
+
+// Portable instantiation of the GEMM micro-kernels: compiled with the
+// baseline ISA so it runs anywhere, selected by kernels.cc when the CPU
+// lacks AVX2/FMA (or off x86 entirely).
+
+#define PAFEAT_GEMM_NAMESPACE generic
+#include "tensor/kernels_impl.inl"
+#undef PAFEAT_GEMM_NAMESPACE

@@ -1,0 +1,230 @@
+// Single-threaded GEMM micro-kernel bodies, included by kernels_generic.cc
+// and kernels_avx2.cc with PAFEAT_GEMM_NAMESPACE set, so the identical
+// source compiles once portably and once with AVX2+FMA codegen. kernels.cc
+// owns the runtime dispatch and the thread-pool row split.
+//
+// Shape of the code (why it is fast):
+//  * GemmNN/GemmTN: 4-row register tile x 4-wide k unroll. The inner j loop
+//    walks four B rows and four C rows contiguously with no loop-carried
+//    dependence, so the compiler turns it into pure vector FMAs; the k x j
+//    panel blocking keeps the active B panel cache-resident.
+//  * GemmNT: rows of B are the reduction axis; this core is a dot-product
+//    kernel with fixed-width lane accumulators (`float acc[kLanes]`) that
+//    vectorize, lanes reduced in a fixed order after the k loop. kernels.cc
+//    only routes small-m products here — at m >= 8 it materializes B^T once
+//    and reuses the (much faster) GemmNN core instead.
+//  * Every element of C sees one fixed accumulation order per shape
+//    (k-major, grouped in fours), independent of column blocking and of the
+//    row panel a thread was handed — the bit-determinism contract the
+//    thread split in kernels.cc relies on.
+//
+// This file deliberately contains no includes and no pragmas: it must stay
+// valid under both instantiations' flag sets.
+
+#ifndef PAFEAT_GEMM_NAMESPACE
+#error "kernels_impl.inl requires PAFEAT_GEMM_NAMESPACE"
+#endif
+
+namespace pafeat {
+namespace kernels {
+namespace PAFEAT_GEMM_NAMESPACE {
+
+namespace {
+
+// Cache blocking: C/B column panel width and reduction depth per pass.
+// 256 columns x 4 rows of floats is 4 KiB of C panel (L1-resident) and the
+// k block bounds the streamed B panel to 256 KiB (L2-resident).
+constexpr int kColBlock = 256;
+constexpr int kKBlock = 256;
+// SLP accumulator width of the GemmNT dot kernel (one AVX2 register).
+constexpr int kLanes = 8;
+
+inline int MinInt(int a, int b) { return a < b ? a : b; }
+
+}  // namespace
+
+void GemmNN(int m, int n, int p, const float* __restrict a, int lda,
+            const float* __restrict b, int ldb, float* __restrict c,
+            int ldc) {
+  for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int jn = MinInt(kColBlock, n - j0);
+    for (int k0 = 0; k0 < p; k0 += kKBlock) {
+      const int kn = MinInt(kKBlock, p - k0);
+      const float* __restrict bp =
+          b + static_cast<std::size_t>(k0) * ldb + j0;
+      int i = 0;
+      for (; i + 4 <= m; i += 4) {
+        const float* __restrict a0 = a + static_cast<std::size_t>(i) * lda + k0;
+        const float* __restrict a1 = a0 + lda;
+        const float* __restrict a2 = a1 + lda;
+        const float* __restrict a3 = a2 + lda;
+        float* __restrict c0 = c + static_cast<std::size_t>(i) * ldc + j0;
+        float* __restrict c1 = c0 + ldc;
+        float* __restrict c2 = c1 + ldc;
+        float* __restrict c3 = c2 + ldc;
+        int k = 0;
+        for (; k + 4 <= kn; k += 4) {
+          const float* __restrict b0 = bp + static_cast<std::size_t>(k) * ldb;
+          const float* __restrict b1 = b0 + ldb;
+          const float* __restrict b2 = b1 + ldb;
+          const float* __restrict b3 = b2 + ldb;
+          const float a00 = a0[k], a01 = a0[k + 1], a02 = a0[k + 2],
+                      a03 = a0[k + 3];
+          const float a10 = a1[k], a11 = a1[k + 1], a12 = a1[k + 2],
+                      a13 = a1[k + 3];
+          const float a20 = a2[k], a21 = a2[k + 1], a22 = a2[k + 2],
+                      a23 = a2[k + 3];
+          const float a30 = a3[k], a31 = a3[k + 1], a32 = a3[k + 2],
+                      a33 = a3[k + 3];
+          for (int j = 0; j < jn; ++j) {
+            const float bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+            c0[j] += a00 * bv0 + a01 * bv1 + a02 * bv2 + a03 * bv3;
+            c1[j] += a10 * bv0 + a11 * bv1 + a12 * bv2 + a13 * bv3;
+            c2[j] += a20 * bv0 + a21 * bv1 + a22 * bv2 + a23 * bv3;
+            c3[j] += a30 * bv0 + a31 * bv1 + a32 * bv2 + a33 * bv3;
+          }
+        }
+        for (; k < kn; ++k) {
+          const float* __restrict bk = bp + static_cast<std::size_t>(k) * ldb;
+          const float a0k = a0[k], a1k = a1[k], a2k = a2[k], a3k = a3[k];
+          for (int j = 0; j < jn; ++j) {
+            const float bv = bk[j];
+            c0[j] += a0k * bv;
+            c1[j] += a1k * bv;
+            c2[j] += a2k * bv;
+            c3[j] += a3k * bv;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        const float* __restrict ar = a + static_cast<std::size_t>(i) * lda + k0;
+        float* __restrict cr = c + static_cast<std::size_t>(i) * ldc + j0;
+        int k = 0;
+        for (; k + 4 <= kn; k += 4) {
+          const float* __restrict b0 = bp + static_cast<std::size_t>(k) * ldb;
+          const float* __restrict b1 = b0 + ldb;
+          const float* __restrict b2 = b1 + ldb;
+          const float* __restrict b3 = b2 + ldb;
+          const float ar0 = ar[k], ar1 = ar[k + 1], ar2 = ar[k + 2],
+                      ar3 = ar[k + 3];
+          for (int j = 0; j < jn; ++j) {
+            cr[j] += ar0 * b0[j] + ar1 * b1[j] + ar2 * b2[j] + ar3 * b3[j];
+          }
+        }
+        for (; k < kn; ++k) {
+          const float* __restrict bk = bp + static_cast<std::size_t>(k) * ldb;
+          const float ark = ar[k];
+          for (int j = 0; j < jn; ++j) cr[j] += ark * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTN(int m, int n, int p, const float* __restrict a, int lda,
+            const float* __restrict b, int ldb, float* __restrict c,
+            int ldc) {
+  // C(i, j) += A(k, i) * B(k, j): identical tiling to GemmNN, except the
+  // sixteen A scalars of a tile are gathered down a column of A (still only
+  // sixteen scalar loads per k-quad, amortized over the whole j panel).
+  for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int jn = MinInt(kColBlock, n - j0);
+    for (int k0 = 0; k0 < p; k0 += kKBlock) {
+      const int kn = MinInt(kKBlock, p - k0);
+      const float* __restrict ap = a + static_cast<std::size_t>(k0) * lda;
+      const float* __restrict bp =
+          b + static_cast<std::size_t>(k0) * ldb + j0;
+      int i = 0;
+      for (; i + 4 <= m; i += 4) {
+        float* __restrict c0 = c + static_cast<std::size_t>(i) * ldc + j0;
+        float* __restrict c1 = c0 + ldc;
+        float* __restrict c2 = c1 + ldc;
+        float* __restrict c3 = c2 + ldc;
+        int k = 0;
+        for (; k + 4 <= kn; k += 4) {
+          const float* __restrict ak0 = ap + static_cast<std::size_t>(k) * lda + i;
+          const float* __restrict ak1 = ak0 + lda;
+          const float* __restrict ak2 = ak1 + lda;
+          const float* __restrict ak3 = ak2 + lda;
+          const float* __restrict b0 = bp + static_cast<std::size_t>(k) * ldb;
+          const float* __restrict b1 = b0 + ldb;
+          const float* __restrict b2 = b1 + ldb;
+          const float* __restrict b3 = b2 + ldb;
+          const float a00 = ak0[0], a01 = ak1[0], a02 = ak2[0], a03 = ak3[0];
+          const float a10 = ak0[1], a11 = ak1[1], a12 = ak2[1], a13 = ak3[1];
+          const float a20 = ak0[2], a21 = ak1[2], a22 = ak2[2], a23 = ak3[2];
+          const float a30 = ak0[3], a31 = ak1[3], a32 = ak2[3], a33 = ak3[3];
+          for (int j = 0; j < jn; ++j) {
+            const float bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+            c0[j] += a00 * bv0 + a01 * bv1 + a02 * bv2 + a03 * bv3;
+            c1[j] += a10 * bv0 + a11 * bv1 + a12 * bv2 + a13 * bv3;
+            c2[j] += a20 * bv0 + a21 * bv1 + a22 * bv2 + a23 * bv3;
+            c3[j] += a30 * bv0 + a31 * bv1 + a32 * bv2 + a33 * bv3;
+          }
+        }
+        for (; k < kn; ++k) {
+          const float* __restrict ak = ap + static_cast<std::size_t>(k) * lda + i;
+          const float* __restrict bk = bp + static_cast<std::size_t>(k) * ldb;
+          const float a0k = ak[0], a1k = ak[1], a2k = ak[2], a3k = ak[3];
+          for (int j = 0; j < jn; ++j) {
+            const float bv = bk[j];
+            c0[j] += a0k * bv;
+            c1[j] += a1k * bv;
+            c2[j] += a2k * bv;
+            c3[j] += a3k * bv;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        float* __restrict cr = c + static_cast<std::size_t>(i) * ldc + j0;
+        int k = 0;
+        for (; k + 4 <= kn; k += 4) {
+          const float* __restrict ak0 = ap + static_cast<std::size_t>(k) * lda + i;
+          const float* __restrict b0 = bp + static_cast<std::size_t>(k) * ldb;
+          const float* __restrict b1 = b0 + ldb;
+          const float* __restrict b2 = b1 + ldb;
+          const float* __restrict b3 = b2 + ldb;
+          const float ar0 = ak0[0], ar1 = ak0[lda], ar2 = ak0[2 * lda],
+                      ar3 = ak0[static_cast<std::size_t>(3) * lda];
+          for (int j = 0; j < jn; ++j) {
+            cr[j] += ar0 * b0[j] + ar1 * b1[j] + ar2 * b2[j] + ar3 * b3[j];
+          }
+        }
+        for (; k < kn; ++k) {
+          const float* __restrict bk = bp + static_cast<std::size_t>(k) * ldb;
+          const float ark = ap[static_cast<std::size_t>(k) * lda + i];
+          for (int j = 0; j < jn; ++j) cr[j] += ark * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmNT(int m, int n, int p, const float* __restrict a, int lda,
+            const float* __restrict b, int ldb, float* __restrict c,
+            int ldc) {
+  // C(i, j) += dot(A row i, B row j), kLanes-wide partial-sum accumulators.
+  // Deliberately a plain 1x1 tile: wider register tiles with several
+  // interleaved accumulator arrays defeat the auto-vectorizer and come out
+  // scalar. Only small m reaches this core (see GemmNT in kernels.cc).
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<std::size_t>(i) * lda;
+    float* __restrict cr = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const float* __restrict bj = b + static_cast<std::size_t>(j) * ldb;
+      float acc[kLanes] = {};
+      int k = 0;
+      for (; k + kLanes <= p; k += kLanes) {
+        for (int t = 0; t < kLanes; ++t) acc[t] += ar[k + t] * bj[k + t];
+      }
+      float s = 0.0f;
+      for (; k < p; ++k) s += ar[k] * bj[k];
+      for (int t = 0; t < kLanes; ++t) s += acc[t];
+      cr[j] += s;
+    }
+  }
+}
+
+}  // namespace PAFEAT_GEMM_NAMESPACE
+}  // namespace kernels
+}  // namespace pafeat

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pafeat {
 
@@ -94,52 +95,31 @@ void Matrix::AddRowBroadcast(const Matrix& bias) {
   }
 }
 
+// The three product forms delegate to the blocked/vectorized kernel layer
+// (tensor/kernels.h), which also decides when to split row panels across
+// the shared thread pool. The kernels accumulate, so outputs start zeroed.
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   PF_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps both `other` and `out` accesses sequential.
-  for (int i = 0; i < rows_; ++i) {
-    const float* a_row = Row(i);
-    float* out_row = out.Row(i);
-    for (int k = 0; k < cols_; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = other.Row(k);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  kernels::GemmNN(rows_, other.cols_, cols_, data(), cols_, other.data(),
+                  other.cols_, out.data(), out.cols_);
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   PF_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
-  for (int k = 0; k < rows_; ++k) {
-    const float* a_row = Row(k);
-    const float* b_row = other.Row(k);
-    for (int i = 0; i < cols_; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0f) continue;
-      float* out_row = out.Row(i);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  kernels::GemmTN(cols_, other.cols_, rows_, data(), cols_, other.data(),
+                  other.cols_, out.data(), out.cols_);
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   PF_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
-  for (int i = 0; i < rows_; ++i) {
-    const float* a_row = Row(i);
-    float* out_row = out.Row(i);
-    for (int j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.Row(j);
-      float acc = 0.0f;
-      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
+  kernels::GemmNT(rows_, other.rows_, cols_, data(), cols_, other.data(),
+                  other.cols_, out.data(), out.cols_);
   return out;
 }
 

@@ -293,6 +293,37 @@ TEST(FeatureMaskTest, KeyDistinguishesMasks) {
   EXPECT_EQ(MaskKey(a).size(), 2u);
 }
 
+TEST(FeatureMaskTest, PackMaskPacks64BitWords) {
+  FeatureMask mask(130, 0);
+  mask[0] = 1;
+  mask[63] = 1;
+  mask[64] = 1;
+  mask[129] = 1;
+  const PackedMask packed = PackMask(mask);
+  ASSERT_EQ(packed.size(), 3u);  // ceil(130 / 64)
+  EXPECT_EQ(packed[0], (uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(packed[1], uint64_t{1});
+  EXPECT_EQ(packed[2], uint64_t{1} << 1);
+  EXPECT_EQ(PackMask(FeatureMask(64, 0)).size(), 1u);
+  EXPECT_TRUE(PackMask(FeatureMask()).empty());
+}
+
+TEST(FeatureMaskTest, PackedMaskHashSeparatesNeighbors) {
+  // The reward cache keys on PackedMask; single-bit flips and the
+  // empty-vs-unset distinction must produce distinct keys (equality) and,
+  // for these simple cases, distinct hashes too.
+  PackedMaskHash hash;
+  FeatureMask a(70, 0);
+  FeatureMask b(70, 0);
+  a[3] = 1;
+  b[4] = 1;
+  EXPECT_NE(PackMask(a), PackMask(b));
+  EXPECT_NE(hash(PackMask(a)), hash(PackMask(b)));
+  EXPECT_EQ(hash(PackMask(a)), hash(PackMask(a)));
+  // Different lengths with identical words still hash apart.
+  EXPECT_NE(hash(PackedMask{0}), hash(PackedMask{0, 0}));
+}
+
 TEST(CsvTest, RoundTripsTable) {
   const Table table = MakeSmallTable();
   const std::string path = ::testing::TempDir() + "/pafeat_table.csv";

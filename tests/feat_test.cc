@@ -243,6 +243,37 @@ TEST_F(FeatTest, ParallelCollectionMatchesSequential) {
   }
 }
 
+TEST_F(FeatTest, TrainBitIdenticalAcrossThreadCounts) {
+  // The thread-pool determinism contract, end to end: for a fixed seed,
+  // Feat::Train at num_threads 1 and 8 must produce bit-identical per-
+  // iteration losses, network parameters, and selected masks (episodes are
+  // planned on the iterating thread, executed on the pool, committed in
+  // plan order; an 8-way config also exercises more executors than the
+  // 3 episodes per iteration).
+  FeatConfig serial_config = SmallFeatConfig();
+  serial_config.num_threads = 1;
+  FeatConfig pooled_config = SmallFeatConfig();
+  pooled_config.num_threads = 8;
+
+  Feat serial(&problem_, dataset_.SeenTaskIndices(), serial_config);
+  Feat pooled(&problem_, dataset_.SeenTaskIndices(), pooled_config);
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    const IterationStats serial_stats = serial.RunIteration();
+    const IterationStats pooled_stats = pooled.RunIteration();
+    ASSERT_EQ(serial_stats.mean_loss, pooled_stats.mean_loss)
+        << "iteration " << iteration;
+    ASSERT_EQ(serial_stats.episodes, pooled_stats.episodes);
+  }
+  EXPECT_EQ(serial.agent().online_net().SerializeParams(),
+            pooled.agent().online_net().SerializeParams());
+  for (int unseen : dataset_.UnseenTaskIndices()) {
+    const std::vector<float> repr =
+        problem_.ComputeTaskRepresentation(unseen);
+    EXPECT_EQ(serial.SelectForRepresentation(repr),
+              pooled.SelectForRepresentation(repr));
+  }
+}
+
 TEST_F(FeatTest, SelectForRepresentationIsDeterministic) {
   Feat feat(&problem_, dataset_.SeenTaskIndices(), SmallFeatConfig());
   feat.Train(10);

@@ -1,0 +1,230 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/matrix.h"
+
+namespace pafeat {
+namespace {
+
+// Textbook triple loops on raw buffers: the ground truth the blocked
+// kernels must reproduce on every shape, however awkward.
+std::vector<float> RefNN(int m, int n, int p, const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < p; ++k) acc += a[i * p + k] * b[k * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+std::vector<float> RefTN(int m, int n, int p, const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < p; ++k) acc += a[k * m + i] * b[k * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+std::vector<float> RefNT(int m, int n, int p, const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < p; ++k) acc += a[i * p + k] * b[j * p + k];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+std::vector<float> RandomVec(size_t size, Rng* rng) {
+  std::vector<float> v(size);
+  for (float& x : v) x = static_cast<float>(rng->Normal(0.0, 1.0));
+  return v;
+}
+
+void ExpectAllNear(const std::vector<float>& got,
+                   const std::vector<float>& want, int n, float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol)
+        << "element (" << i / n << ", " << i % n << ")";
+  }
+}
+
+// (m, n, p) shapes chosen to hit every edge: unit dims, vectors, sizes
+// straddling the 4-row register tile, the 8-lane dot accumulator, and the
+// 256-wide cache blocks.
+class KernelShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelShapeTest, GemmNNMatchesReference) {
+  const auto [m, n, p] = GetParam();
+  Rng rng(11 + m * 97 + n * 13 + p);
+  const std::vector<float> a = RandomVec(static_cast<size_t>(m) * p, &rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(p) * n, &rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmNN(m, n, p, a.data(), p, b.data(), n, c.data(), n);
+  const float tol = 1e-4f * std::sqrt(static_cast<float>(p + 1));
+  ExpectAllNear(c, RefNN(m, n, p, a, b), n, tol);
+}
+
+TEST_P(KernelShapeTest, GemmTNMatchesReference) {
+  const auto [m, n, p] = GetParam();
+  Rng rng(23 + m * 97 + n * 13 + p);
+  const std::vector<float> a = RandomVec(static_cast<size_t>(p) * m, &rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(p) * n, &rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmTN(m, n, p, a.data(), m, b.data(), n, c.data(), n);
+  const float tol = 1e-4f * std::sqrt(static_cast<float>(p + 1));
+  ExpectAllNear(c, RefTN(m, n, p, a, b), n, tol);
+}
+
+TEST_P(KernelShapeTest, GemmNTMatchesReference) {
+  const auto [m, n, p] = GetParam();
+  Rng rng(37 + m * 97 + n * 13 + p);
+  const std::vector<float> a = RandomVec(static_cast<size_t>(m) * p, &rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(n) * p, &rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmNT(m, n, p, a.data(), p, b.data(), p, c.data(), n);
+  const float tol = 1e-4f * std::sqrt(static_cast<float>(p + 1));
+  ExpectAllNear(c, RefNT(m, n, p, a, b), n, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, KernelShapeTest,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1),      // scalar product
+        std::make_tuple(1, 97, 1),     // outer product row
+        std::make_tuple(97, 1, 1),     // outer product column
+        std::make_tuple(1, 1, 301),    // pure dot, k past one cache block
+        std::make_tuple(1, 64, 147),   // greedy-inference shape (single obs)
+        std::make_tuple(3, 5, 2),      // everything below one tile
+        std::make_tuple(4, 4, 4),      // exactly one register tile
+        std::make_tuple(5, 9, 7),      // one past the tile in every dim
+        std::make_tuple(8, 8, 8),      // exactly the dot lane width
+        std::make_tuple(13, 17, 9),    // odd everything
+        std::make_tuple(32, 64, 147),  // training batch forward shape
+        std::make_tuple(61, 59, 67),   // primes near the blocking sizes
+        std::make_tuple(70, 300, 260)  // spans kColBlock and kKBlock edges
+        ));
+
+TEST(KernelsTest, ZeroSizedDimsAreNoOps) {
+  // m, n, or p of zero must not touch C (and must not crash on null-ish
+  // spans); seed C with a sentinel to prove it.
+  std::vector<float> a(12, 1.0f), b(12, 1.0f), c(12, -7.0f);
+  kernels::GemmNN(0, 3, 4, a.data(), 4, b.data(), 3, c.data(), 3);
+  kernels::GemmNN(3, 0, 4, a.data(), 4, b.data(), 1, c.data(), 1);
+  kernels::GemmNN(3, 4, 0, a.data(), 1, b.data(), 4, c.data(), 4);
+  kernels::GemmTN(0, 3, 4, a.data(), 1, b.data(), 3, c.data(), 3);
+  kernels::GemmNT(3, 0, 4, a.data(), 4, b.data(), 4, c.data(), 1);
+  for (float v : c) EXPECT_FLOAT_EQ(v, -7.0f);
+}
+
+TEST(KernelsTest, AccumulatesIntoExistingC) {
+  // The kernels add on top of C rather than overwrite it.
+  std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};  // 2x2
+  std::vector<float> b = {1.0f, 0.0f, 0.0f, 1.0f};  // identity
+  std::vector<float> c = {10.0f, 10.0f, 10.0f, 10.0f};
+  kernels::GemmNN(2, 2, 2, a.data(), 2, b.data(), 2, c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[1], 12.0f);
+  EXPECT_FLOAT_EQ(c[2], 13.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(KernelsTest, SmallIntegerProductsAreExact) {
+  // Integer-valued inputs with small products are exactly representable, so
+  // the result must be exact no matter how the kernel reorders the sums.
+  const int m = 19, n = 23, p = 31;
+  Rng rng(5);
+  std::vector<float> a(static_cast<size_t>(m) * p), b(static_cast<size_t>(p) * n);
+  for (float& v : a) v = static_cast<float>(rng.UniformInt(7)) - 3.0f;
+  for (float& v : b) v = static_cast<float>(rng.UniformInt(7)) - 3.0f;
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmNN(m, n, p, a.data(), p, b.data(), n, c.data(), n);
+  const std::vector<float> ref = RefNN(m, n, p, a, b);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_FLOAT_EQ(c[i], ref[i]);
+}
+
+TEST(KernelsTest, SubPanelStridesWork) {
+  // Multiply interior panels of larger buffers: ld > logical row length.
+  const int lda = 10, ldb = 9, ldc = 8;
+  const int m = 3, n = 4, p = 5;
+  Rng rng(7);
+  std::vector<float> abuf = RandomVec(6 * lda, &rng);
+  std::vector<float> bbuf = RandomVec(7 * ldb, &rng);
+  std::vector<float> cbuf(5 * ldc, 0.0f);
+  kernels::GemmNN(m, n, p, abuf.data(), lda, bbuf.data(), ldb, cbuf.data(),
+                  ldc);
+  // Dense copies of the same panels for the reference.
+  std::vector<float> a(static_cast<size_t>(m) * p), b(static_cast<size_t>(p) * n);
+  for (int i = 0; i < m; ++i)
+    for (int k = 0; k < p; ++k) a[i * p + k] = abuf[i * lda + k];
+  for (int k = 0; k < p; ++k)
+    for (int j = 0; j < n; ++j) b[k * n + j] = bbuf[k * ldb + j];
+  const std::vector<float> ref = RefNN(m, n, p, a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(cbuf[i * ldc + j], ref[i * n + j], 1e-4f);
+    }
+  }
+  // Rows of C beyond the panel stay untouched.
+  for (int i = 0; i < m; ++i) {
+    for (int j = n; j < ldc; ++j) EXPECT_FLOAT_EQ(cbuf[i * ldc + j], 0.0f);
+  }
+}
+
+TEST(KernelsTest, PoolSplitIsBitIdenticalToSerial) {
+  // Force the size over the parallel threshold (2*m*n*p >= 4e6) and ensure
+  // the row-panel split over the pool produces the same bits as one thread.
+  ThreadPool::EnsureGlobalWorkers(3);
+  const int m = 160, n = 160, p = 160;
+  Rng rng(17);
+  const Matrix a = Matrix::RandomNormal(m, p, 1.0f, &rng);
+  const Matrix b = Matrix::RandomNormal(p, n, 1.0f, &rng);
+  const Matrix pooled = a.MatMul(b);
+  // Serial result: 20-row panels are far below the parallel threshold, so
+  // each call runs single-threaded; panel starts are multiples of the
+  // register tile, so per-element accumulation order is identical and the
+  // results must match bit-for-bit.
+  Matrix serial(m, n);
+  for (int i0 = 0; i0 < m; i0 += 20) {
+    kernels::GemmNN(20, n, p, a.Row(i0), p, b.data(), n, serial.Row(i0), n);
+  }
+  for (int i = 0; i < m * n; ++i) {
+    ASSERT_EQ(pooled.data()[i], serial.data()[i]) << "element " << i;
+  }
+}
+
+TEST(KernelsTest, MatrixDelegationMatchesKernels) {
+  // Matrix::MatMul/TransposedMatMul/MatMulTransposed are thin wrappers; a
+  // spot check ties the two layers together.
+  Rng rng(29);
+  const Matrix a = Matrix::RandomNormal(6, 9, 1.0f, &rng);
+  const Matrix b = Matrix::RandomNormal(9, 5, 1.0f, &rng);
+  const Matrix nn = a.MatMul(b);
+  std::vector<float> c(6 * 5, 0.0f);
+  kernels::GemmNN(6, 5, 9, a.data(), 9, b.data(), 5, c.data(), 5);
+  for (int i = 0; i < 30; ++i) EXPECT_FLOAT_EQ(nn.data()[i], c[i]);
+}
+
+}  // namespace
+}  // namespace pafeat
