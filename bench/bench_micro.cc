@@ -13,6 +13,7 @@
 #include "ml/metrics.h"
 #include "ml/subset_evaluator.h"
 #include "nn/dueling_net.h"
+#include "rl/dqn_agent.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "rl/fs_env.h"
@@ -260,6 +261,78 @@ void BM_AucScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AucScore)->Arg(128)->Arg(1024)->Arg(8192);
+
+// Reward-path fixture at a width where masked-subset inference cost is
+// visible (m = 256, 512 eval rows; the paper datasets reach m = 1020). The
+// classifier quality is irrelevant here — only the inference shapes matter —
+// so the fit is kept to two epochs.
+struct RewardFixture {
+  RewardFixture() : classifier(MaskedDnnConfig{.epochs = 2}) {
+    Rng rng(40);
+    features = Matrix::RandomNormal(640, 256, 1.0f, &rng);
+    labels.resize(640);
+    for (int i = 0; i < 640; ++i) {
+      labels[i] = features.At(i, 3) + features.At(i, 17) > 0.0f ? 1.0f : 0.0f;
+    }
+    fit_rows.resize(640);
+    for (int i = 0; i < 640; ++i) fit_rows[i] = i;
+    eval_rows.assign(fit_rows.begin(), fit_rows.begin() + 512);
+    classifier.Fit(features, labels, fit_rows, &rng);
+    evaluator = std::make_unique<SubsetEvaluator>(&features, labels, eval_rows,
+                                                  &classifier);
+  }
+
+  static const RewardFixture& Get() {
+    static RewardFixture fixture;
+    return fixture;
+  }
+
+  // Every (100/density_percent)-th feature selected.
+  FeatureMask MaskAtDensity(int density_percent) const {
+    const int m = features.cols();
+    FeatureMask mask(m, 0);
+    const int stride = 100 / density_percent;
+    for (int f = 0; f < m; f += stride) mask[f] = 1;
+    return mask;
+  }
+
+  Matrix features;
+  std::vector<float> labels;
+  std::vector<int> fit_rows;
+  std::vector<int> eval_rows;
+  MaskedDnnClassifier classifier;
+  std::unique_ptr<SubsetEvaluator> evaluator;
+};
+
+// One uncached reward evaluation (the SubsetEvaluator cache-miss path) at
+// the given mask density in percent.
+void BM_RewardEval(benchmark::State& state) {
+  const RewardFixture& fixture = RewardFixture::Get();
+  const FeatureMask mask =
+      fixture.MaskAtDensity(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.evaluator->EvaluateUncached(mask));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(fixture.eval_rows.size()));
+}
+BENCHMARK(BM_RewardEval)->Arg(5)->Arg(10)->Arg(50)->Arg(100);
+
+// One greedy per-step action selection on an Emotions-sized observation
+// (2m + 3 = 147): the per-environment-step cost of the buffer-filling phase.
+void BM_AgentAct(benchmark::State& state) {
+  Rng rng(41);
+  DqnConfig config;
+  config.net.input_dim = 147;
+  DqnAgent agent(config, &rng);
+  std::vector<float> observation(147);
+  for (float& v : observation) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  Rng act_rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Act(observation, &act_rng, /*greedy=*/true));
+  }
+}
+BENCHMARK(BM_AgentAct);
 
 void BM_TaskRepresentation(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

@@ -30,3 +30,17 @@ build/bench/bench_micro \
   --benchmark_out_format=json \
   --benchmark_out=bench/baselines/BENCH_gemm.json > /dev/null 2>&1 \
   && echo "wrote bench/baselines/BENCH_gemm.json"
+
+echo "===================================================================="
+echo "== Reward-path trajectory -> bench/baselines/BENCH_reward.json"
+echo "===================================================================="
+# Uncached reward evaluation at several mask densities plus per-step action
+# selection; the seed's numbers are frozen in
+# bench/baselines/BENCH_reward_seed.json.
+build/bench/bench_micro \
+  --benchmark_filter='BM_RewardEval|BM_AgentAct' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out=bench/baselines/BENCH_reward.json > /dev/null 2>&1 \
+  && echo "wrote bench/baselines/BENCH_reward.json"

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Sanitized test run: configures a separate build tree with
+# -DPAFEAT_SANITIZE=ON (ASan + UBSan, see the top-level CMakeLists.txt),
+# builds everything, and runs the full test suite under the instrumentation.
+# Use this before merging changes to the kernel/arena layers — the bump
+# allocator and the pool-split GEMM paths are exactly the code where an
+# out-of-bounds write would otherwise go unnoticed.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPAFEAT_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

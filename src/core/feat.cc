@@ -76,6 +76,11 @@ int Feat::AddTask(int label_index) {
       config_.max_feature_ratio, config_.reward_mode);
   runtime.buffer = std::make_unique<ReplayBuffer>(config_.replay_capacity);
   tasks_.push_back(std::move(runtime));
+  // Fold the evaluator's pre-existing traffic (e.g. the full-feature reward
+  // computed when the task context was built) into the baseline so the first
+  // iteration's delta only counts this instance's episodes.
+  prev_cache_hits_ += context.evaluator->cache_hits();
+  prev_cache_misses_ += context.evaluator->cache_misses();
   return static_cast<int>(tasks_.size()) - 1;
 }
 
@@ -242,6 +247,21 @@ IterationStats Feat::RunIteration() {
     }
   }
   stats.mean_loss = loss_count > 0 ? loss_total / loss_count : 0.0;
+
+  // Reward-cache traffic this iteration, summed over all seen tasks.
+  long long total_hits = 0;
+  long long total_misses = 0;
+  for (const SeenTaskRuntime& task : tasks_) {
+    total_hits += task.context->evaluator->cache_hits();
+    total_misses += task.context->evaluator->cache_misses();
+  }
+  stats.cache_hits = total_hits - prev_cache_hits_;
+  stats.cache_misses = total_misses - prev_cache_misses_;
+  prev_cache_hits_ = total_hits;
+  prev_cache_misses_ = total_misses;
+  PF_LOG(Debug) << "iteration reward cache: " << stats.cache_hits
+                << " hits, " << stats.cache_misses << " misses";
+
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }

@@ -123,6 +123,10 @@ struct IterationStats {
   double mean_loss = 0.0;
   int episodes = 0;
   std::vector<double> task_probabilities;
+  // Reward-cache traffic across all seen tasks during this iteration
+  // (deltas, not running totals).
+  long long cache_hits = 0;
+  long long cache_misses = 0;
 };
 
 // The FEAT framework (paper §III-B, Algorithm 1): one global Dueling-DQN
@@ -198,6 +202,10 @@ class Feat {
   std::unique_ptr<RewardShaper> reward_shaper_;
   std::vector<double> last_probabilities_;
   int focus_slot_ = -1;
+  // Running reward-cache totals at the end of the previous iteration, used
+  // to report per-iteration deltas in IterationStats.
+  long long prev_cache_hits_ = 0;
+  long long prev_cache_misses_ = 0;
 };
 
 }  // namespace pafeat

@@ -22,13 +22,18 @@ FeatureMask GreedySelectSubset(const DuelingNet& net,
             observation.begin());
   FeatureMask mask(m, 0);
   int selected = 0;
+  // Per-step Q queries share the thread's inference arena: the execution
+  // path allocates nothing per step.
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  ArenaScope scope(arena);
+  float* q = arena->Alloc(kNumActions);
   for (int position = 0; position < m && selected < max_selectable;
        ++position) {
     observation[2 * m] = static_cast<float>(position) / m;
     observation[2 * m + 1] = representation[position];
     observation[2 * m + 2] = static_cast<float>(selected) / m;
-    const Matrix q = net.Predict(Matrix::RowVector(observation));
-    if (q.At(0, kActionSelect) > q.At(0, kActionDeselect)) {
+    net.PredictInto(1, observation.data(), arena, q);
+    if (q[kActionSelect] > q[kActionDeselect]) {
       mask[position] = 1;
       observation[m + position] = 1.0f;
       ++selected;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "common/logging.h"
 #include "ml/metrics.h"
@@ -16,15 +18,20 @@ Matrix MaskedDnnClassifier::BuildMaskedBatch(const Matrix& features,
                                              const std::vector<int>& rows,
                                              const FeatureMask& mask) const {
   const int m = features.cols();
-  if (!mask.empty()) {
-    PF_CHECK_EQ(static_cast<int>(mask.size()), m);
-  }
   Matrix batch(static_cast<int>(rows.size()), m);
+  if (mask.empty()) {
+    for (int i = 0; i < batch.rows(); ++i) {
+      std::memcpy(batch.Row(i), features.Row(rows[i]),
+                  static_cast<std::size_t>(m) * sizeof(float));
+    }
+    return batch;
+  }
+  PF_CHECK_EQ(static_cast<int>(mask.size()), m);
   for (int i = 0; i < batch.rows(); ++i) {
     const float* src = features.Row(rows[i]);
     float* dst = batch.Row(i);
     for (int c = 0; c < m; ++c) {
-      dst[c] = (mask.empty() || mask[c]) ? src[c] : 0.0f;
+      dst[c] = mask[c] ? src[c] : 0.0f;
     }
   }
   return batch;
@@ -42,6 +49,9 @@ void MaskedDnnClassifier::Fit(const Matrix& features,
   net_config.output_dim = 1;
   net_config.output_activation = Activation::kSigmoid;
   net_ = std::make_unique<Mlp>(net_config, rng);
+  w0t_ = Matrix();
+  all_cols_.resize(m);
+  std::iota(all_cols_.begin(), all_cols_.end(), 0);
 
   AdamOptimizer optimizer(config_.learning_rate);
   std::vector<int> order = rows;
@@ -89,19 +99,69 @@ void MaskedDnnClassifier::Fit(const Matrix& features,
       optimizer.Step(net_->Params(), net_->Grads());
     }
   }
+  // The net is frozen from here on; prepare the gather kernel's operand once
+  // so every masked query skips the transpose.
+  w0t_ = net_->FirstLayerWeightTransposed();
 }
 
 std::vector<float> MaskedDnnClassifier::Predict(const Matrix& features,
                                                 const std::vector<int>& rows,
                                                 const FeatureMask& mask) const {
+  return PredictBlock(features.SelectRows(rows), mask);
+}
+
+std::vector<float> MaskedDnnClassifier::PredictBlock(
+    const Matrix& block, const FeatureMask& mask) const {
   PF_CHECK(net_ != nullptr);
-  const Matrix batch = BuildMaskedBatch(features, rows, mask);
-  const Matrix probs = net_->Predict(batch);
-  std::vector<float> out(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = probs.At(static_cast<int>(i), 0);
+  const int m = block.cols();
+  PF_CHECK_EQ(m, net_->config().input_dim);
+  const int rows = block.rows();
+  std::vector<float> out(rows);
+  if (rows == 0) return out;
+
+  std::vector<int> selected;
+  const std::vector<int>* cols = &all_cols_;
+  if (!mask.empty()) {
+    PF_CHECK_EQ(static_cast<int>(mask.size()), m);
+    // An all-zero mask is legal (the empty subset): the gather list is empty
+    // and the first layer reduces to bias + activation, exactly matching a
+    // fully zero-masked input.
+    selected = MaskToIndices(mask);
+    cols = &selected;
   }
+
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  ArenaScope scope(arena);
+  float* probs = arena->Alloc(static_cast<std::size_t>(rows));
+  net_->PredictGathered(rows, block.data(), m, cols->data(),
+                        static_cast<int>(cols->size()), w0t_, arena, probs);
+  std::copy(probs, probs + rows, out.begin());
   return out;
+}
+
+std::vector<float> MaskedDnnClassifier::PredictBlockReference(
+    const Matrix& block, const FeatureMask& mask) const {
+  PF_CHECK(net_ != nullptr);
+  PF_CHECK_EQ(block.cols(), net_->config().input_dim);
+  std::vector<int> rows(block.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  const Matrix masked = BuildMaskedBatch(block, rows, mask);
+  std::vector<float> out(block.rows());
+  if (out.empty()) return out;
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  ArenaScope scope(arena);
+  float* probs = arena->Alloc(static_cast<std::size_t>(masked.rows()));
+  net_->PredictGatheredReference(masked.rows(), masked.data(), masked.cols(),
+                                 w0t_, arena, probs);
+  std::copy(probs, probs + masked.rows(), out.begin());
+  return out;
+}
+
+double MaskedDnnClassifier::EvaluateAucBlock(
+    const Matrix& block, const std::vector<float>& block_labels,
+    const FeatureMask& mask) const {
+  PF_CHECK_EQ(static_cast<int>(block_labels.size()), block.rows());
+  return AucScore(PredictBlock(block, mask), block_labels);
 }
 
 double MaskedDnnClassifier::EvaluateAuc(const Matrix& features,

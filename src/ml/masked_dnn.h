@@ -43,6 +43,28 @@ class MaskedDnnClassifier {
                              const std::vector<int>& rows,
                              const FeatureMask& mask) const;
 
+  // Masked-subset inference fast path over a precomputed contiguous row
+  // block (every row of `block` is evaluated): the first layer gathers only
+  // the mask's selected columns, so the cost scales with |mask| rather than
+  // the feature count and no masked copy of the block is ever materialized.
+  // Bit-identical to PredictBlockReference; forward passes draw scratch from
+  // the calling thread's InferenceArena (no heap allocations beyond the
+  // returned vector). SubsetEvaluator holds such a block for its eval rows.
+  std::vector<float> PredictBlock(const Matrix& block,
+                                  const FeatureMask& mask) const;
+
+  // Reference implementation kept for the bitwise-equivalence tests: builds
+  // the zero-masked copy (BuildMaskedBatch) and runs it full-width through
+  // the same canonical summation order as the fast path.
+  std::vector<float> PredictBlockReference(const Matrix& block,
+                                           const FeatureMask& mask) const;
+
+  // AUC of PredictBlock against the block's labels — the cache-miss cost of
+  // SubsetEvaluator::Reward.
+  double EvaluateAucBlock(const Matrix& block,
+                          const std::vector<float>& block_labels,
+                          const FeatureMask& mask) const;
+
   // AUC of the masked prediction over the given rows — the paper's P(.) in
   // the reward function.
   double EvaluateAuc(const Matrix& features, const std::vector<float>& labels,
@@ -62,6 +84,11 @@ class MaskedDnnClassifier {
 
   MaskedDnnConfig config_;
   std::unique_ptr<Mlp> net_;
+  // Inference operands prepared once per Fit: the transposed first-layer
+  // weight (feature-indexed rows, what the gather kernel walks) and the
+  // identity column list used when a mask selects everything.
+  Matrix w0t_;
+  std::vector<int> all_cols_;
 };
 
 }  // namespace pafeat

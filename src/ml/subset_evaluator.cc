@@ -17,32 +17,59 @@ SubsetEvaluator::SubsetEvaluator(const Matrix* features,
   PF_CHECK(classifier_->fitted());
   PF_CHECK(!eval_rows_.empty());
   PF_CHECK_EQ(static_cast<int>(labels_.size()), features_->rows());
+  eval_block_ = features_->SelectRows(eval_rows_);
+  eval_labels_.resize(eval_rows_.size());
+  for (size_t i = 0; i < eval_rows_.size(); ++i) {
+    eval_labels_[i] = labels_[eval_rows_[i]];
+  }
+}
+
+double SubsetEvaluator::EvaluateUncached(const FeatureMask& mask) const {
+  PF_CHECK_EQ(static_cast<int>(mask.size()), features_->cols());
+  return classifier_->EvaluateAucBlock(eval_block_, eval_labels_, mask);
 }
 
 double SubsetEvaluator::Reward(const FeatureMask& mask) const {
   PF_CHECK_EQ(static_cast<int>(mask.size()), features_->cols());
   PackedMask key = PackMask(mask);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
-      return it->second;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+      }
+      // Claim the key if nobody is computing it; otherwise wait for that
+      // thread and re-probe the cache (the wake-up path counts as a hit).
+      if (in_flight_.insert(key).second) break;
+      in_flight_cv_.wait(lock);
     }
-    ++misses_;
   }
   // Computed outside the lock so different masks evaluate concurrently.
-  const double reward =
-      classifier_->EvaluateAuc(*features_, labels_, eval_rows_, mask);
+  const double reward = EvaluateUncached(mask);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    in_flight_.erase(key);
     cache_.emplace(std::move(key), reward);
   }
+  in_flight_cv_.notify_all();
   return reward;
 }
 
 double SubsetEvaluator::FullFeatureReward() const {
   return Reward(FeatureMask(features_->cols(), 1));
+}
+
+long long SubsetEvaluator::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+long long SubsetEvaluator::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 }  // namespace pafeat

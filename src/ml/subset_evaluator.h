@@ -1,8 +1,10 @@
 #ifndef PAFEAT_ML_SUBSET_EVALUATOR_H_
 #define PAFEAT_ML_SUBSET_EVALUATOR_H_
 
+#include <condition_variable>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "data/feature_mask.h"
@@ -18,12 +20,18 @@ namespace pafeat {
 // the same subsets over and over, so the (task-local) cache keyed by the
 // subset bitmask removes the dominant cost (measured in bench_micro).
 //
+// The evaluation rows are gathered into a contiguous block once at
+// construction; a cache miss runs the classifier's column-gathered fast path
+// over that block, so the per-miss cost scales with the subset size rather
+// than the full feature count, and no masked copy is materialized.
+//
 // Thread-safe: the cache is guarded by a mutex so FEAT's parallel episode
 // collection can share one evaluator per task. Rewards are computed outside
-// the lock (concurrent misses on the same mask may compute twice — benign,
-// since the value is deterministic). The cache key is the PackedMask bitset
-// form — every environment step probes this map, so key hashing/compares
-// run over 64-bit words, not bytes.
+// the lock; an in-flight key set dedups concurrent misses on the same mask —
+// the first thread computes, later arrivals wait on a condition variable and
+// read the cached value (counted as hits). The cache key is the PackedMask
+// bitset form — every environment step probes this map, so key
+// hashing/compares run over 64-bit words, not bytes.
 class SubsetEvaluator {
  public:
   SubsetEvaluator(const Matrix* features, std::vector<float> labels,
@@ -33,20 +41,31 @@ class SubsetEvaluator {
   // Cached AUC reward of the subset.
   double Reward(const FeatureMask& mask) const;
 
+  // The cache-miss cost of Reward, without touching the cache: one AUC
+  // evaluation of the subset over the precomputed eval block. Exposed for
+  // benchmarks and tests.
+  double EvaluateUncached(const FeatureMask& mask) const;
+
   // Reward of the full feature set (the P_all baseline of Eqn 6a).
   double FullFeatureReward() const;
 
   int num_features() const { return features_->cols(); }
-  long long cache_hits() const { return hits_; }
-  long long cache_misses() const { return misses_; }
+  long long cache_hits() const;
+  long long cache_misses() const;
 
  private:
   const Matrix* features_;
   std::vector<float> labels_;
   std::vector<int> eval_rows_;
   const MaskedDnnClassifier* classifier_;
+  // Contiguous copies of the evaluation rows and their labels, gathered once
+  // so every reward evaluation streams a dense block.
+  Matrix eval_block_;
+  std::vector<float> eval_labels_;
   mutable std::mutex mutex_;
+  mutable std::condition_variable in_flight_cv_;
   mutable std::unordered_map<PackedMask, double, PackedMaskHash> cache_;
+  mutable std::unordered_set<PackedMask, PackedMaskHash> in_flight_;
   mutable long long hits_ = 0;
   mutable long long misses_ = 0;
 };

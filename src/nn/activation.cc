@@ -7,8 +7,10 @@
 namespace pafeat {
 
 void ApplyActivation(Activation act, Matrix* values) {
-  float* data = values->data();
-  const int n = values->size();
+  ApplyActivation(act, values->data(), values->size());
+}
+
+void ApplyActivation(Activation act, float* data, int n) {
   switch (act) {
     case Activation::kLinear:
       return;

@@ -10,6 +10,9 @@ enum class Activation { kLinear, kRelu, kTanh, kSigmoid };
 // Applies the activation elementwise in place.
 void ApplyActivation(Activation act, Matrix* values);
 
+// Raw-buffer form for the allocation-free inference paths; identical math.
+void ApplyActivation(Activation act, float* data, int n);
+
 // Multiplies `grad` in place by the activation derivative, where `activated`
 // holds the post-activation values (all supported activations admit a
 // derivative expressed in the output).

@@ -61,10 +61,33 @@ Matrix DuelingNet::Forward(const Matrix& states) {
 }
 
 Matrix DuelingNet::Predict(const Matrix& states) const {
-  Matrix features = trunk_.Predict(states);
-  Matrix value = value_head_.Predict(features);
-  Matrix advantage = advantage_head_.Predict(features);
-  return Aggregate(value, advantage);
+  Matrix q(states.rows(), config_.num_actions);
+  PredictInto(states.rows(), states.data(), InferenceArena::ThreadLocal(),
+              q.data());
+  return q;
+}
+
+void DuelingNet::PredictInto(int rows, const float* states,
+                             InferenceArena* arena, float* q_out) const {
+  ArenaScope scope(arena);
+  const int feature_dim = trunk_.config().output_dim;
+  const int num_actions = config_.num_actions;
+  float* features =
+      arena->Alloc(static_cast<std::size_t>(rows) * feature_dim);
+  trunk_.PredictInto(rows, states, arena, features);
+  float* value = arena->Alloc(static_cast<std::size_t>(rows));
+  value_head_.PredictInto(rows, features, arena, value);
+  // Advantages land straight in q_out; the aggregation then runs in place
+  // with the exact loop (and rounding order) of Aggregate.
+  advantage_head_.PredictInto(rows, features, arena, q_out);
+  for (int r = 0; r < rows; ++r) {
+    float* q_row = q_out + static_cast<std::size_t>(r) * num_actions;
+    float mean_adv = 0.0f;
+    for (int a = 0; a < num_actions; ++a) mean_adv += q_row[a];
+    mean_adv /= num_actions;
+    const float v = value[r];
+    for (int a = 0; a < num_actions; ++a) q_row[a] += v - mean_adv;
+  }
 }
 
 void DuelingNet::Backward(const Matrix& grad_q) {

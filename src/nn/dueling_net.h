@@ -34,6 +34,12 @@ class DuelingNet {
   // Inference-only Q-values.
   Matrix Predict(const Matrix& states) const;
 
+  // Allocation-free inference: writes the (rows x num_actions) Q-values to
+  // `q_out`, drawing all intermediate buffers (trunk features, value head)
+  // from `arena`. Bit-identical to Predict.
+  void PredictInto(int rows, const float* states, InferenceArena* arena,
+                   float* q_out) const;
+
   // Backpropagates dL/dQ through the cached Forward.
   void Backward(const Matrix& grad_q);
 

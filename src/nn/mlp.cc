@@ -1,10 +1,25 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pafeat {
+namespace {
+
+// out[r] += bias for every row of a rows x cols buffer — the raw-buffer twin
+// of Matrix::AddRowBroadcast (same loop, same rounding).
+void AddBiasRows(int rows, int cols, const float* bias, float* out) {
+  for (int r = 0; r < rows; ++r) {
+    float* row = out + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+}  // namespace
 
 Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
   PF_CHECK_GT(config.input_dim, 0);
@@ -52,14 +67,75 @@ const Matrix& Mlp::Forward(const Matrix& input) {
 
 Matrix Mlp::Predict(const Matrix& input) const {
   PF_CHECK_EQ(input.cols(), config_.input_dim);
-  Matrix current = input;
-  for (const Layer& layer : layers_) {
-    Matrix next = current.MatMulTransposed(layer.weight);
-    next.AddRowBroadcast(layer.bias);
-    ApplyActivation(layer.activation, &next);
-    current = std::move(next);
+  Matrix out(input.rows(), config_.output_dim);
+  PredictInto(input.rows(), input.data(), InferenceArena::ThreadLocal(),
+              out.data());
+  return out;
+}
+
+void Mlp::PredictInto(int rows, const float* input, InferenceArena* arena,
+                      float* out) const {
+  PredictTailInto(0, rows, input, arena, out);
+}
+
+void Mlp::PredictTailInto(int first_layer, int rows, const float* input,
+                          InferenceArena* arena, float* out) const {
+  PF_CHECK_GE(first_layer, 0);
+  PF_CHECK_LT(first_layer, num_layers());
+  PF_CHECK_GT(rows, 0);
+  ArenaScope scope(arena);
+  const float* current = input;
+  for (int i = first_layer; i < num_layers(); ++i) {
+    const Layer& layer = layers_[i];
+    const int in_dim = layer.weight.cols();
+    const int out_dim = layer.weight.rows();
+    const std::size_t count = static_cast<std::size_t>(rows) * out_dim;
+    float* next = i + 1 == num_layers() ? out : arena->Alloc(count);
+    std::fill_n(next, count, 0.0f);
+    // Same GemmNT call Matrix::MatMulTransposed makes for this shape, so the
+    // allocation-free path stays bit-identical to the Matrix-based one.
+    kernels::GemmNT(rows, out_dim, in_dim, current, in_dim,
+                    layer.weight.data(), in_dim, next, out_dim);
+    AddBiasRows(rows, out_dim, layer.bias.data(), next);
+    ApplyActivation(layer.activation, next, static_cast<int>(count));
+    current = next;
   }
-  return current;
+}
+
+void Mlp::PredictGathered(int rows, const float* x, int ldx, const int* cols,
+                          int ncols, const Matrix& w0t, InferenceArena* arena,
+                          float* out) const {
+  PF_CHECK_GT(rows, 0);
+  PF_CHECK_GE(ncols, 0);  // ncols == 0: empty subset, first layer = bias only
+  const Layer& first = layers_.front();
+  const int out_dim = first.weight.rows();
+  PF_CHECK_EQ(w0t.rows(), config_.input_dim);
+  PF_CHECK_EQ(w0t.cols(), out_dim);
+  ArenaScope scope(arena);
+  const std::size_t count = static_cast<std::size_t>(rows) * out_dim;
+  float* hidden = num_layers() == 1 ? out : arena->Alloc(count);
+  std::fill_n(hidden, count, 0.0f);
+  kernels::GemmGatherNN(rows, out_dim, x, ldx, cols, ncols, w0t.data(),
+                        out_dim, hidden, out_dim);
+  AddBiasRows(rows, out_dim, first.bias.data(), hidden);
+  ApplyActivation(first.activation, hidden, static_cast<int>(count));
+  if (num_layers() > 1) PredictTailInto(1, rows, hidden, arena, out);
+}
+
+void Mlp::PredictGatheredReference(int rows, const float* x, int ldx,
+                                   const Matrix& w0t, InferenceArena* arena,
+                                   float* out) const {
+  // The identity column list routes the full-width product through exactly
+  // the code of the fast path, so the pair differs only in whether masked
+  // columns are skipped or multiplied through as zeros.
+  std::vector<int> all_cols(config_.input_dim);
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  PredictGathered(rows, x, ldx, all_cols.data(), config_.input_dim, w0t,
+                  arena, out);
+}
+
+Matrix Mlp::FirstLayerWeightTransposed() const {
+  return layers_.front().weight.Transposed();
 }
 
 Matrix Mlp::Backward(const Matrix& grad_output) {

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "nn/activation.h"
+#include "nn/workspace.h"
 #include "tensor/matrix.h"
 
 namespace pafeat {
@@ -33,6 +34,48 @@ class Mlp {
 
   // Inference-only forward pass; does not disturb the training cache.
   Matrix Predict(const Matrix& input) const;
+
+  // Allocation-free inference: writes the (rows x output_dim) result to
+  // `out`, drawing intermediate layer buffers from `arena` (released on
+  // return; zero heap allocations once the arena is warm). `input` is rows x
+  // input_dim, contiguous. Bit-identical to Predict — same kernels, same
+  // shapes.
+  void PredictInto(int rows, const float* input, InferenceArena* arena,
+                   float* out) const;
+
+  // Runs layers [first_layer, num_layers()) on `input` (rows x that layer's
+  // input dim). PredictInto is PredictTailInto(0, ...); the masked fast path
+  // computes layer 0 itself and hands the tail here.
+  void PredictTailInto(int first_layer, int rows, const float* input,
+                       InferenceArena* arena, float* out) const;
+
+  // Masked-subset inference fast path (DESIGN.md "Inference fast path"):
+  // first layer as a column-gathered product over the `ncols` selected
+  // columns of `x` (rows x ldx, only the listed columns are read), then the
+  // remaining layers as usual. `w0t` is the transposed first-layer weight
+  // (input_dim x first-layer width, from FirstLayerWeightTransposed), kept
+  // by the caller so repeated queries share it. Cost is O(rows * ncols *
+  // width) instead of O(rows * input_dim * width), and the result is
+  // bit-identical to PredictGatheredReference on the zero-masked batch.
+  void PredictGathered(int rows, const float* x, int ldx, const int* cols,
+                       int ncols, const Matrix& w0t, InferenceArena* arena,
+                       float* out) const;
+
+  // Reference implementation of the masked-inference summation order: the
+  // full-width product over all input_dim columns of `x` (masked columns
+  // are expected to hold zeros), same per-element accumulation order as
+  // PredictGathered. Kept for the bitwise-equivalence tests.
+  void PredictGatheredReference(int rows, const float* x, int ldx,
+                                const Matrix& w0t, InferenceArena* arena,
+                                float* out) const;
+
+  // The first layer's weight, transposed to input_dim x width: the operand
+  // layout PredictGathered wants (weight rows indexed by input column).
+  Matrix FirstLayerWeightTransposed() const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  int layer_input_dim(int i) const { return layers_[i].weight.cols(); }
+  int layer_output_dim(int i) const { return layers_[i].weight.rows(); }
 
   // Backpropagates dL/d(output) through the cached forward pass, accumulating
   // parameter gradients, and returns dL/d(input).

@@ -1,0 +1,44 @@
+#include "nn/workspace.h"
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+float* InferenceArena::Alloc(std::size_t count) {
+  // Advance through existing slabs first: after a Rewind the later slabs are
+  // still owned and get reused, so a repeated call pattern settles into a
+  // fixed slab walk with no allocations.
+  while (slab_ < slabs_.size() && used_ + count > slabs_[slab_].size) {
+    ++slab_;
+    used_ = 0;
+  }
+  if (slab_ == slabs_.size()) {
+    const std::size_t size = count > kMinSlabFloats ? count : kMinSlabFloats;
+    slabs_.push_back(Slab{std::make_unique<float[]>(size), size});
+    ++slab_allocations_;
+    used_ = 0;
+  }
+  float* out = slabs_[slab_].data.get() + used_;
+  used_ += count;
+  return out;
+}
+
+void InferenceArena::Rewind(const Mark& mark) {
+  PF_CHECK(mark.slab < slabs_.size() ||
+           (mark.slab == slabs_.size() && mark.used == 0));
+  slab_ = mark.slab;
+  used_ = mark.used;
+}
+
+InferenceArena* InferenceArena::ThreadLocal() {
+  static thread_local InferenceArena arena;
+  return &arena;
+}
+
+std::size_t InferenceArena::capacity_floats() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.size;
+  return total;
+}
+
+}  // namespace pafeat

@@ -29,9 +29,13 @@ int DqnAgent::Act(const std::vector<float>& observation, Rng* rng,
   if (!greedy && rng->Bernoulli(CurrentEpsilon())) {
     return rng->UniformInt(config_.net.num_actions);
   }
-  const std::vector<float> q = QValues(observation);
+  const int num_actions = config_.net.num_actions;
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  ArenaScope scope(arena);
+  float* q = arena->Alloc(num_actions);
+  QValuesInto(observation.data(), q);
   int best = 0;
-  for (int a = 1; a < static_cast<int>(q.size()); ++a) {
+  for (int a = 1; a < num_actions; ++a) {
     if (q[a] > q[best]) best = a;
   }
   return best;
@@ -39,10 +43,13 @@ int DqnAgent::Act(const std::vector<float>& observation, Rng* rng,
 
 std::vector<float> DqnAgent::QValues(
     const std::vector<float>& observation) const {
-  const Matrix q = online_->Predict(Matrix::RowVector(observation));
-  std::vector<float> values(q.cols());
-  for (int a = 0; a < q.cols(); ++a) values[a] = q.At(0, a);
+  std::vector<float> values(config_.net.num_actions);
+  QValuesInto(observation.data(), values.data());
   return values;
+}
+
+void DqnAgent::QValuesInto(const float* observation, float* q_out) const {
+  online_->PredictInto(1, observation, InferenceArena::ThreadLocal(), q_out);
 }
 
 void DqnAgent::EnsurePopArtSize(int task_id) {

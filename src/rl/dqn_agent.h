@@ -42,11 +42,15 @@ class DqnAgent {
   DqnAgent(const DqnConfig& config, Rng* rng);
 
   // Epsilon-greedy action for one observation. `greedy` disables exploration
-  // (the unseen-task execution path).
+  // (the unseen-task execution path). Zero heap allocations in steady state:
+  // the Q-value query runs through the calling thread's InferenceArena.
   int Act(const std::vector<float>& observation, Rng* rng, bool greedy) const;
 
   // Q-values of one observation from the online network.
   std::vector<float> QValues(const std::vector<float>& observation) const;
+
+  // Allocation-free form: writes num_actions Q-values to `q_out`.
+  void QValuesInto(const float* observation, float* q_out) const;
 
   // One gradient step on a batch; returns the TD loss (Eqn 1a).
   double TrainBatch(const std::vector<BatchItem>& batch);

@@ -17,6 +17,8 @@ void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
+void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
+                  int ncols, const float* b, int ldb, float* c, int ldc);
 }  // namespace generic
 
 #ifdef PAFEAT_HAVE_AVX2_TU
@@ -27,6 +29,8 @@ void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
+void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
+                  int ncols, const float* b, int ldb, float* c, int ldc);
 }  // namespace avx2
 #endif
 
@@ -34,11 +38,14 @@ namespace {
 
 using GemmFn = void (*)(int, int, int, const float*, int, const float*, int,
                         float*, int);
+using GatherFn = void (*)(int, int, const float*, int, const int*, int,
+                          const float*, int, float*, int);
 
 struct Dispatch {
   GemmFn nn;
   GemmFn tn;
   GemmFn nt;
+  GatherFn gather;
   bool avx2 = false;
 };
 
@@ -46,10 +53,12 @@ const Dispatch& Impl() {
   static const Dispatch dispatch = []() {
 #ifdef PAFEAT_HAVE_AVX2_TU
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return Dispatch{avx2::GemmNN, avx2::GemmTN, avx2::GemmNT, true};
+      return Dispatch{avx2::GemmNN, avx2::GemmTN, avx2::GemmNT,
+                      avx2::GemmGatherNN, true};
     }
 #endif
-    return Dispatch{generic::GemmNN, generic::GemmTN, generic::GemmNT, false};
+    return Dispatch{generic::GemmNN, generic::GemmTN, generic::GemmNT,
+                    generic::GemmGatherNN, false};
   }();
   return dispatch;
 }
@@ -147,6 +156,27 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
   }
   RunRowPanels(core, panels, m, n, p, a, lda, static_cast<std::size_t>(lda),
                bt.data(), n, c, ldc);
+}
+
+void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
+                  int ncols, const float* b, int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || ncols <= 0) return;
+  const GatherFn core = Impl().gather;
+  const int panels = NumPanels(m, 2LL * m * n * ncols);
+  if (panels <= 1) {
+    core(m, n, a, lda, cols, ncols, b, ldb, c, ldc);
+    return;
+  }
+  const int rows_per =
+      ((m + panels - 1) / panels + kPanelAlign - 1) / kPanelAlign *
+      kPanelAlign;
+  ThreadPool::Global()->ParallelFor(panels, panels, [&](int index) {
+    const int i0 = index * rows_per;
+    const int rows = std::min(rows_per, m - i0);
+    if (rows <= 0) return;
+    core(rows, n, a + static_cast<std::size_t>(i0) * lda, lda, cols, ncols, b,
+         ldb, c + static_cast<std::size_t>(i0) * ldc, ldc);
+  });
 }
 
 bool UsingAvx2() { return Impl().avx2; }

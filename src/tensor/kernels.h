@@ -34,6 +34,21 @@ void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
 void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 
+// Column-gathered product for masked-subset inference (DESIGN.md "Inference
+// fast path"):
+//
+//   GemmGatherNN:  C[m x n] += A[:, cols] * B[cols, :]
+//
+// where `cols` lists `ncols` column indices of A (= row indices of B), in
+// increasing order on the fast path. Every element of C accumulates with
+// exactly one rounding per list entry, in list order (no k unroll), so a
+// column whose A entries are zero is a bitwise no-op: gathering only a
+// mask's selected columns reproduces the full-width zero-masked product bit
+// for bit. Row panels split across the thread pool like the kernels above
+// (aligned boundaries, per-element order independent of the split).
+void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
+                  int ncols, const float* b, int ldb, float* c, int ldc);
+
 // True when the AVX2+FMA instantiation is compiled in and selected by the
 // runtime CPU check (exposed for tests and bench labeling).
 bool UsingAvx2();

@@ -225,6 +225,55 @@ void GemmNT(int m, int n, int p, const float* __restrict a, int lda,
   }
 }
 
+void GemmGatherNN(int m, int n, const float* __restrict a, int lda,
+                  const int* __restrict cols, int ncols,
+                  const float* __restrict b, int ldb, float* __restrict c,
+                  int ldc) {
+  // C(i, j) += sum_s A(i, cols[s]) * B(cols[s], j): the masked-inference
+  // first-layer kernel. Unlike the blocked cores above there is no k unroll:
+  // every element of C receives exactly one rounded `+=` per column-list
+  // entry, in list order, vectorized across j (the B row is reused as a
+  // broadcast panel). That strictly sequential per-element order is the
+  // point — a column whose A entries are zero contributes a bitwise no-op,
+  // so gathering only the selected columns reproduces the full-width masked
+  // product bit for bit (see DESIGN.md "Inference fast path"). The 4-row
+  // tile only shares the B row loads; row grouping never changes any single
+  // element's accumulation chain.
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* __restrict a0 = a + static_cast<std::size_t>(i) * lda;
+    const float* __restrict a1 = a0 + lda;
+    const float* __restrict a2 = a1 + lda;
+    const float* __restrict a3 = a2 + lda;
+    float* __restrict c0 = c + static_cast<std::size_t>(i) * ldc;
+    float* __restrict c1 = c0 + ldc;
+    float* __restrict c2 = c1 + ldc;
+    float* __restrict c3 = c2 + ldc;
+    for (int s = 0; s < ncols; ++s) {
+      const int k = cols[s];
+      const float* __restrict bk = b + static_cast<std::size_t>(k) * ldb;
+      const float a0k = a0[k], a1k = a1[k], a2k = a2[k], a3k = a3[k];
+      for (int j = 0; j < n; ++j) {
+        const float bv = bk[j];
+        c0[j] += a0k * bv;
+        c1[j] += a1k * bv;
+        c2[j] += a2k * bv;
+        c3[j] += a3k * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<std::size_t>(i) * lda;
+    float* __restrict cr = c + static_cast<std::size_t>(i) * ldc;
+    for (int s = 0; s < ncols; ++s) {
+      const int k = cols[s];
+      const float* __restrict bk = b + static_cast<std::size_t>(k) * ldb;
+      const float ark = ar[k];
+      for (int j = 0; j < n; ++j) cr[j] += ark * bk[j];
+    }
+  }
+}
+
 }  // namespace PAFEAT_GEMM_NAMESPACE
 }  // namespace kernels
 }  // namespace pafeat

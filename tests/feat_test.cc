@@ -271,7 +271,44 @@ TEST_F(FeatTest, TrainBitIdenticalAcrossThreadCounts) {
         problem_.ComputeTaskRepresentation(unseen);
     EXPECT_EQ(serial.SelectForRepresentation(repr),
               pooled.SelectForRepresentation(repr));
+    // Probe the online networks directly: the per-step Q-values behind those
+    // greedy selections must be bit-identical, not merely argmax-equal.
+    std::vector<float> observation(2 * repr.size() + 3, 0.0f);
+    std::copy(repr.begin(), repr.end(), observation.begin());
+    EXPECT_EQ(serial.agent().QValues(observation),
+              pooled.agent().QValues(observation));
   }
+}
+
+TEST_F(FeatTest, IterationStatsReportCacheTrafficDeltas) {
+  Feat feat(&problem_, dataset_.SeenTaskIndices(), SmallFeatConfig());
+  const IterationStats first = feat.RunIteration();
+  // A fresh run steps environments through never-seen subsets: there must be
+  // traffic, and some of it misses.
+  EXPECT_GT(first.cache_misses, 0);
+  EXPECT_GE(first.cache_hits, 0);
+
+  long long total_hits = first.cache_hits;
+  long long total_misses = first.cache_misses;
+  for (int i = 0; i < 5; ++i) {
+    const IterationStats stats = feat.RunIteration();
+    EXPECT_GE(stats.cache_hits, 0);
+    EXPECT_GE(stats.cache_misses, 0);
+    total_hits += stats.cache_hits;
+    total_misses += stats.cache_misses;
+  }
+  // The per-iteration deltas reconcile with the evaluators' running totals
+  // (minus the construction-time traffic folded into the baseline).
+  long long evaluator_hits = 0;
+  long long evaluator_misses = 0;
+  for (int slot = 0; slot < feat.num_tasks(); ++slot) {
+    const TaskContext* context = feat.task_runtime(slot).context;
+    evaluator_hits += context->evaluator->cache_hits();
+    evaluator_misses += context->evaluator->cache_misses();
+  }
+  EXPECT_LE(total_hits, evaluator_hits);
+  EXPECT_LE(total_misses, evaluator_misses);
+  EXPECT_GT(total_hits, 0);
 }
 
 TEST_F(FeatTest, SelectForRepresentationIsDeterministic) {
