@@ -1,17 +1,48 @@
 #!/bin/bash
-# Sanitized test run: configures a separate build tree with
-# -DPAFEAT_SANITIZE=ON (ASan + UBSan, see the top-level CMakeLists.txt),
-# builds everything, and runs the full test suite under the instrumentation.
-# Use this before merging changes to the kernel/arena layers — the bump
-# allocator and the pool-split GEMM paths are exactly the code where an
-# out-of-bounds write would otherwise go unnoticed.
+# Sanitized test run, mode-selecting:
+#
+#   scripts/check.sh [asan|tsan]     (default: asan)
+#
+#   asan  — AddressSanitizer + UBSan (-DPAFEAT_SANITIZE=ON) plus the
+#           checked-build assertions (-DPAFEAT_CHECKED=ON): heap errors,
+#           UB, arena canaries, Matrix bounds, GEMM aliasing. Run before
+#           merging changes to the kernel/arena layers.
+#   tsan  — ThreadSanitizer (-DPAFEAT_TSAN=ON): data races in the
+#           ThreadPool fan-out, the reward-cache stampede control, and the
+#           per-thread arena handoff. Run before merging changes to
+#           anything under src/common/thread_pool.*, src/ml/, or parallel
+#           episode collection.
+#
+# Each mode keeps its own build tree (build-asan / build-tsan): the
+# instrumentation overhead makes benchmark numbers meaningless and the ASan
+# and TSan runtimes cannot be linked together. Warnings are errors here
+# (PAFEAT_WERROR=ON; export WERROR=OFF to opt out on exotic compilers).
 set -eu
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
+MODE=${1:-asan}
+WERROR=${WERROR:-ON}
+
+case "$MODE" in
+  asan)
+    BUILD_DIR=${BUILD_DIR:-build-asan}
+    CMAKE_FLAGS=(-DPAFEAT_SANITIZE=ON -DPAFEAT_CHECKED=ON)
+    ;;
+  tsan)
+    BUILD_DIR=${BUILD_DIR:-build-tsan}
+    CMAKE_FLAGS=(-DPAFEAT_TSAN=ON)
+    # halt_on_error: a race fails the test run instead of scrolling past.
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan]" >&2
+    exit 2
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
-  -DPAFEAT_SANITIZE=ON
+  -DPAFEAT_WERROR="$WERROR" \
+  "${CMAKE_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,62 @@
+#!/bin/bash
+# Pre-merge gate: the full correctness matrix, one command.
+#
+#   scripts/ci.sh
+#
+# Steps (each in its own build tree, all warning-clean via PAFEAT_WERROR):
+#   release   Release build + full ctest suite — includes pafeat_lint_test
+#             (tree-wide determinism/concurrency lint), the lint self-test,
+#             and the generated per-header self-containment TUs
+#   asan      scripts/check.sh asan  (ASan + UBSan + checked assertions)
+#   tsan      scripts/check.sh tsan  (ThreadSanitizer)
+#
+# Prints a summary table and exits nonzero if any step failed. Steps keep
+# running after a failure so one run reports the whole matrix.
+set -u
+cd "$(dirname "$0")/.."
+
+declare -a STEP_NAMES=()
+declare -a STEP_STATUS=()
+declare -a STEP_SECONDS=()
+FAILED=0
+
+run_step() {
+  local name="$1"
+  shift
+  echo
+  echo "=== ci: ${name} ==="
+  local start
+  start=$(date +%s)
+  if "$@"; then
+    STEP_STATUS+=("PASS")
+  else
+    STEP_STATUS+=("FAIL")
+    FAILED=1
+  fi
+  STEP_NAMES+=("$name")
+  STEP_SECONDS+=($(( $(date +%s) - start )))
+}
+
+release_step() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPAFEAT_WERROR=ON &&
+  cmake --build build -j "$(nproc)" &&
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+run_step "release+lint+werror" release_step
+run_step "asan+ubsan+checked" scripts/check.sh asan
+run_step "tsan" scripts/check.sh tsan
+
+echo
+echo "=== ci summary ==="
+printf '%-22s %-6s %8s\n' "step" "status" "seconds"
+for i in "${!STEP_NAMES[@]}"; do
+  printf '%-22s %-6s %8s\n' "${STEP_NAMES[$i]}" "${STEP_STATUS[$i]}" \
+    "${STEP_SECONDS[$i]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "ci: FAILED"
+else
+  echo "ci: all steps passed"
+fi
+exit "$FAILED"

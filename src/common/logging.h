@@ -80,4 +80,27 @@ class FatalMessage {
 #define PF_CHECK_EQ(a, b) PF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
 #define PF_CHECK_NE(a, b) PF_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
 
+// Checked-build assertions (configure with -DPAFEAT_CHECKED=ON): invariants
+// too hot to verify unconditionally — Matrix bounds, GEMM output aliasing,
+// arena canaries. In normal builds the condition is type-checked but never
+// evaluated (short-circuited behind a constant), so PF_DCHECK lines cost
+// nothing; in checked builds they carry full PF_CHECK semantics.
+#ifdef PAFEAT_CHECKED
+#define PF_DCHECK(condition) PF_CHECK(condition)
+#define PF_DCHECK_GE(a, b) PF_CHECK_GE(a, b)
+#define PF_DCHECK_GT(a, b) PF_CHECK_GT(a, b)
+#define PF_DCHECK_LE(a, b) PF_CHECK_LE(a, b)
+#define PF_DCHECK_LT(a, b) PF_CHECK_LT(a, b)
+#define PF_DCHECK_EQ(a, b) PF_CHECK_EQ(a, b)
+#define PF_DCHECK_NE(a, b) PF_CHECK_NE(a, b)
+#else
+#define PF_DCHECK(condition) PF_CHECK(true || (condition))
+#define PF_DCHECK_GE(a, b) PF_DCHECK((a) >= (b))
+#define PF_DCHECK_GT(a, b) PF_DCHECK((a) > (b))
+#define PF_DCHECK_LE(a, b) PF_DCHECK((a) <= (b))
+#define PF_DCHECK_LT(a, b) PF_DCHECK((a) < (b))
+#define PF_DCHECK_EQ(a, b) PF_DCHECK((a) == (b))
+#define PF_DCHECK_NE(a, b) PF_DCHECK((a) != (b))
+#endif
+
 #endif  // PAFEAT_COMMON_LOGGING_H_

@@ -20,6 +20,8 @@ ThreadPool::ThreadPool(int num_workers) {
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
+  num_workers_.store(static_cast<int>(workers_.size()),
+                     std::memory_order_release);
 }
 
 ThreadPool::~ThreadPool() {
@@ -60,7 +62,15 @@ void ThreadPool::RunJobShare() {
   while (true) {
     const int i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) return;
-    fn(i);
+    try {
+      fn(i);
+    } catch (...) {
+      // Keep draining: a throwing task must not strand pending_ (the
+      // submitter is blocked on it) or kill a worker thread. The first
+      // exception wins and resurfaces on the submitter.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_exception_) job_exception_ = std::current_exception();
+    }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
@@ -95,6 +105,7 @@ void ThreadPool::ParallelFor(int count, int max_parallelism,
   tls_inside_parallel_for = true;
   RunJobShare();
   tls_inside_parallel_for = false;
+  std::exception_ptr task_exception;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     --job_runners_;
@@ -105,8 +116,11 @@ void ThreadPool::ParallelFor(int count, int max_parallelism,
     });
     job_active_ = false;
     job_fn_ = nullptr;
+    task_exception = job_exception_;
+    job_exception_ = nullptr;
   }
   submit_mutex_.unlock();
+  if (task_exception) std::rethrow_exception(task_exception);
 }
 
 namespace {
@@ -129,9 +143,11 @@ void ThreadPool::EnsureGlobalWorkers(int num_workers) {
   // Serialize against active jobs; workers_ is only read by ParallelFor
   // while holding submit_mutex_.
   std::lock_guard<std::mutex> submit_lock(pool->submit_mutex_);
-  while (pool->num_workers() < num_workers) {
+  while (static_cast<int>(pool->workers_.size()) < num_workers) {
     pool->workers_.emplace_back([pool]() { pool->WorkerLoop(); });
   }
+  pool->num_workers_.store(static_cast<int>(pool->workers_.size()),
+                           std::memory_order_release);
 }
 
 }  // namespace pafeat

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,7 +35,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int num_workers() const { return static_cast<int>(workers_.size()); }
+  // Safe to call concurrently with EnsureGlobalWorkers (atomic snapshot;
+  // the vector itself is only touched under submit_mutex_).
+  int num_workers() const {
+    return num_workers_.load(std::memory_order_acquire);
+  }
 
   // Runs fn(i) for every i in [0, count), distributing indices over at most
   // `max_parallelism` executors (the calling thread participates and counts
@@ -42,6 +47,12 @@ class ThreadPool {
   // from inside a pool task — and concurrent calls from other threads while
   // a job is active — degrade gracefully to running inline on the caller,
   // so nested parallelism cannot deadlock.
+  //
+  // Tasks are expected not to throw (the project uses PF_CHECK, not
+  // exceptions), but a throwing task cannot wedge or kill the pool: the
+  // remaining indices still run, pool state stays consistent, and the first
+  // captured exception is rethrown on the submitting thread after the job
+  // drains (tests rely on this to assert with gtest inside tasks).
   void ParallelFor(int count, int max_parallelism,
                    const std::function<void(int)>& fn);
 
@@ -75,11 +86,17 @@ class ThreadPool {
   bool job_active_ = false;
   uint64_t job_epoch_ = 0;
   bool shutdown_ = false;
+  // First exception a task threw during the active job (guarded by mutex_);
+  // rethrown on the submitter once the job has fully drained.
+  std::exception_ptr job_exception_;
 
   // Serializes ParallelFor callers: one job at a time; losers run inline.
   std::mutex submit_mutex_;
 
   std::vector<std::thread> workers_;
+  // Mirrors workers_.size(); lets ParallelFor size a job without taking
+  // submit_mutex_ while EnsureGlobalWorkers grows the pool.
+  std::atomic<int> num_workers_{0};
 };
 
 }  // namespace pafeat

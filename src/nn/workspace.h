@@ -17,6 +17,12 @@ namespace pafeat {
 //
 // Not thread-safe; every thread uses its own arena (ThreadLocal), which is
 // how episode fan-out and pool-split kernels stay race-free without locks.
+//
+// Checked builds (-DPAFEAT_CHECKED=ON) add two defenses ASan cannot provide
+// (slabs are recycled, never freed, so overruns land in *live* arena
+// memory): every allocation is followed by canary words verified on Rewind,
+// and rewound regions are poisoned with NaNs so use-after-Rewind reads
+// propagate loudly instead of silently reusing stale scratch.
 class InferenceArena {
  public:
   // Position in the slab chain; only meaningful with Rewind.
@@ -58,6 +64,17 @@ class InferenceArena {
   std::size_t slab_ = 0;  // index of the slab Alloc carves from
   std::size_t used_ = 0;  // floats used in that slab
   long long slab_allocations_ = 0;
+
+#ifdef PAFEAT_CHECKED
+  // Live allocations in carve order; Rewind pops the suffix released by the
+  // mark and verifies each block's trailing canary words.
+  struct AllocRecord {
+    std::size_t slab;
+    std::size_t offset;  // first float of the user block
+    std::size_t count;   // user floats (canaries start at offset + count)
+  };
+  std::vector<AllocRecord> live_allocs_;
+#endif
 };
 
 // RAII stack discipline for arena use: everything Alloc'd inside the scope

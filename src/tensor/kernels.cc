@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace pafeat {
@@ -70,6 +72,17 @@ constexpr int kPanelAlign = 4;
 // Below ~2 MFLOP (2*m*n*p) the pool wake costs more than the split saves.
 constexpr long long kMinFlopsPerPanel = 2'000'000;
 
+// Checked-build aliasing guard (PF_DCHECK): the kernels *accumulate* into C
+// while streaming A and B, so any overlap between C and an input corrupts
+// the product silently — exactly the class of bug ASan cannot see because
+// every access stays in bounds. Spans are conservative: `rows` full
+// leading-dimension rows per operand.
+bool DisjointFromC(const float* c, long long c_rows, int ldc, const float* x,
+                   long long x_rows, int ldx) {
+  const std::less_equal<const float*> le;  // total order even across objects
+  return le(c + c_rows * ldc, x) || le(x + x_rows * ldx, c);
+}
+
 int NumPanels(int m, long long flops) {
   if (m < 2 * kPanelAlign || flops < 2 * kMinFlopsPerPanel) return 1;
   ThreadPool* pool = ThreadPool::Global();
@@ -104,6 +117,11 @@ void RunRowPanels(GemmFn core, int panels, int m, int n, int p,
 void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc) {
   if (m <= 0 || n <= 0 || p <= 0) return;
+  PF_DCHECK_GE(lda, p);
+  PF_DCHECK_GE(ldb, n);
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK(DisjointFromC(c, m, ldc, a, m, lda)) << "GemmNN: C aliases A";
+  PF_DCHECK(DisjointFromC(c, m, ldc, b, p, ldb)) << "GemmNN: C aliases B";
   const GemmFn core = Impl().nn;
   const int panels = NumPanels(m, 2LL * m * n * p);
   if (panels <= 1) {
@@ -117,6 +135,11 @@ void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
 void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc) {
   if (m <= 0 || n <= 0 || p <= 0) return;
+  PF_DCHECK_GE(lda, m);  // A is p x m: its rows are C's columns
+  PF_DCHECK_GE(ldb, n);
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK(DisjointFromC(c, m, ldc, a, p, lda)) << "GemmTN: C aliases A";
+  PF_DCHECK(DisjointFromC(c, m, ldc, b, p, ldb)) << "GemmTN: C aliases B";
   const GemmFn core = Impl().tn;
   const int panels = NumPanels(m, 2LL * m * n * p);
   if (panels <= 1) {
@@ -136,6 +159,11 @@ constexpr int kNtTransposeMinRows = 8;
 void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc) {
   if (m <= 0 || n <= 0 || p <= 0) return;
+  PF_DCHECK_GE(lda, p);
+  PF_DCHECK_GE(ldb, p);  // B is n x p, transposed logically
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK(DisjointFromC(c, m, ldc, a, m, lda)) << "GemmNT: C aliases A";
+  PF_DCHECK(DisjointFromC(c, m, ldc, b, n, ldb)) << "GemmNT: C aliases B";
   if (m < kNtTransposeMinRows) {
     Impl().nt(m, n, p, a, lda, b, ldb, c, ldc);
     return;
@@ -161,6 +189,19 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
 void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
                   int ncols, const float* b, int ldb, float* c, int ldc) {
   if (m <= 0 || n <= 0 || ncols <= 0) return;
+  PF_DCHECK_GE(ldb, n);
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK(DisjointFromC(c, m, ldc, a, m, lda))
+      << "GemmGatherNN: C aliases A";
+  // B rows are indexed by cols[i] < lda, so lda rows bound B's extent.
+  PF_DCHECK(DisjointFromC(c, m, ldc, b, lda, ldb))
+      << "GemmGatherNN: C aliases B";
+#ifdef PAFEAT_CHECKED
+  for (int i = 0; i < ncols; ++i) {
+    PF_CHECK_GE(cols[i], 0);
+    PF_CHECK_LT(cols[i], lda);
+  }
+#endif
   const GatherFn core = Impl().gather;
   const int panels = NumPanels(m, 2LL * m * n * ncols);
   if (panels <= 1) {

@@ -44,17 +44,36 @@ Matrix Matrix::RowVector(const std::vector<float>& data) {
   return m;
 }
 
+// Bounds are verified only in checked builds (-DPAFEAT_CHECKED=ON):
+// At/Row sit on the training hot path, and out-of-bounds indices that stay
+// inside data_ (row overflow walking into the next row) are invisible to
+// ASan because the vector allocation itself is never exceeded.
+
 float& Matrix::At(int r, int c) {
+  PF_DCHECK_GE(r, 0);
+  PF_DCHECK_LT(r, rows_);
+  PF_DCHECK_GE(c, 0);
+  PF_DCHECK_LT(c, cols_);
   return data_[static_cast<size_t>(r) * cols_ + c];
 }
 
 float Matrix::At(int r, int c) const {
+  PF_DCHECK_GE(r, 0);
+  PF_DCHECK_LT(r, rows_);
+  PF_DCHECK_GE(c, 0);
+  PF_DCHECK_LT(c, cols_);
   return data_[static_cast<size_t>(r) * cols_ + c];
 }
 
-float* Matrix::Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+float* Matrix::Row(int r) {
+  PF_DCHECK_GE(r, 0);
+  PF_DCHECK_LT(r, rows_);
+  return data_.data() + static_cast<size_t>(r) * cols_;
+}
 
 const float* Matrix::Row(int r) const {
+  PF_DCHECK_GE(r, 0);
+  PF_DCHECK_LT(r, rows_);
   return data_.data() + static_cast<size_t>(r) * cols_;
 }
 

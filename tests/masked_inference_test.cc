@@ -221,6 +221,7 @@ TEST(MaskedInferenceTest, ConcurrentMissesOnSameMaskComputeOnce) {
   constexpr int kThreads = 8;
   std::vector<double> rewards(kThreads);
   std::atomic<int> ready{0};
+  // lint: allow(raw-thread): stampede test needs unmanaged threads racing
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -230,6 +231,7 @@ TEST(MaskedInferenceTest, ConcurrentMissesOnSameMaskComputeOnce) {
       rewards[t] = evaluator.Reward(mask);
     });
   }
+  // lint: allow(raw-thread): joining the stress threads spawned above
   for (std::thread& thread : threads) thread.join();
 
   // Exactly one thread computed; everyone else waited and read the cache.

@@ -1,0 +1,258 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace pafeat_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators the rules care about. Everything else can split
+// into single chars without hurting any rule.
+bool IsTwoCharPunct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>');
+}
+
+// Parses "lint: allow(rule): justification" out of a comment body. Returns
+// true if the comment is a lint pragma at all (even a malformed one, so the
+// pragma rule can demand a justification).
+bool ParsePragma(const std::string& body, Pragma* out) {
+  std::size_t pos = body.find("lint:");
+  if (pos == std::string::npos) return false;
+  pos += 5;
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  if (body.compare(pos, 5, "allow") != 0) return false;
+  pos += 5;
+  if (pos >= body.size() || body[pos] != '(') return false;
+  std::size_t close = body.find(')', ++pos);
+  if (close == std::string::npos) return false;
+  out->rule = body.substr(pos, close - pos);
+  pos = close + 1;
+  if (pos < body.size() && body[pos] == ':') ++pos;
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  out->justification = body.substr(pos);
+  while (!out->justification.empty() && out->justification.back() == ' ') {
+    out->justification.pop_back();
+  }
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& content) : src_(content) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_token_ = false;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+                 c == '\f') {
+        ++pos_;
+      } else if (c == '/' && Peek(1) == '/') {
+        LineComment();
+      } else if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+      } else if (c == '#' && !line_has_token_) {
+        PpDirective();
+      } else if (c == '"') {
+        StringLiteral();
+      } else if (c == '\'') {
+        CharLiteral();
+      } else if (c == 'R' && Peek(1) == '"') {
+        RawString();
+      } else if (IsIdentStart(c)) {
+        Identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        Number();
+      } else {
+        Punct();
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text, int line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_token_ = true;
+  }
+
+  void LineComment() {
+    const int line = line_;
+    const bool standalone = !line_has_token_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    const std::string body = src_.substr(pos_ + 2, end - pos_ - 2);
+    Pragma pragma;
+    if (ParsePragma(body, &pragma)) {
+      pragma.line = line;
+      pragma.standalone = standalone;
+      result_.pragmas.push_back(pragma);
+    }
+    pos_ = end;  // the '\n' is handled by the main loop
+  }
+
+  void BlockComment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;
+        line_has_token_ = false;
+      }
+      ++pos_;
+    }
+  }
+
+  // Consumes the whole directive (joining backslash continuations) into one
+  // token. Trailing // comments on the directive line are stripped.
+  void PpDirective() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    Emit(TokKind::kPpDirective, std::move(text), line);
+  }
+
+  void StringLiteral() {
+    const int line = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep line counts sane
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    Emit(TokKind::kString, std::move(text), line);
+  }
+
+  void CharLiteral() {
+    const int line = line_;
+    std::string text;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    Emit(TokKind::kCharLiteral, std::move(text), line);
+  }
+
+  void RawString() {
+    const int line = line_;
+    std::size_t p = pos_ + 2;  // past R"
+    std::string delim;
+    while (p < src_.size() && src_[p] != '(') delim.push_back(src_[p++]);
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, p);
+    if (end == std::string::npos) end = src_.size();
+    std::string text = src_.substr(p + 1, end - p - 1);
+    for (char c : text) {
+      if (c == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + closer.size();
+    Emit(TokKind::kString, std::move(text), line);
+  }
+
+  void Identifier() {
+    const int line = line_;
+    std::size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    Emit(TokKind::kIdentifier, src_.substr(start, pos_ - start), line);
+  }
+
+  // pp-number: digits plus '.', exponent signs, digit separators, suffixes.
+  void Number() {
+    const int line = line_;
+    std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > start &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    Emit(TokKind::kNumber, src_.substr(start, pos_ - start), line);
+  }
+
+  void Punct() {
+    const int line = line_;
+    if (pos_ + 1 < src_.size() && IsTwoCharPunct(src_[pos_], src_[pos_ + 1])) {
+      Emit(TokKind::kPunct, src_.substr(pos_, 2), line);
+      pos_ += 2;
+      return;
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_token_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& path, const std::string& content) {
+  (void)path;
+  return Lexer(content).Run();
+}
+
+}  // namespace pafeat_lint

@@ -1,0 +1,48 @@
+#ifndef PAFEAT_TOOLS_LINT_LEXER_H_
+#define PAFEAT_TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pafeat_lint {
+
+// A deliberately small C++ tokenizer: enough lexical fidelity that the rule
+// passes never fire inside comments, string literals, or raw strings — the
+// failure mode that makes grep-based lint rules unadoptable. It does not
+// parse; rules pattern-match over the token stream.
+enum class TokKind {
+  kIdentifier,   // identifiers and keywords (rules treat keywords by text)
+  kNumber,       // numeric literal (pp-number: good enough for matching)
+  kString,       // "..." or R"(...)" (text excludes quotes/delimiters)
+  kCharLiteral,  // '...'
+  kPunct,        // operators/punctuation; "::" "->" are single tokens
+  kPpDirective,  // whole preprocessor line(s), continuations joined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// A `// lint: allow(rule): justification` comment.
+struct Pragma {
+  int line = 0;          // line the comment sits on
+  bool standalone = false;  // comment is the only thing on its line
+  std::string rule;
+  std::string justification;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+};
+
+// Tokenizes `content` (the text of `path`, used only for diagnostics).
+// Never fails: unrecognized bytes become single-char punct tokens.
+LexResult Lex(const std::string& path, const std::string& content);
+
+}  // namespace pafeat_lint
+
+#endif  // PAFEAT_TOOLS_LINT_LEXER_H_

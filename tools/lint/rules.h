@@ -1,0 +1,37 @@
+#ifndef PAFEAT_TOOLS_LINT_RULES_H_
+#define PAFEAT_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace pafeat_lint {
+
+// One rule violation. `rule` is the stable machine-readable id (also the
+// name accepted by `// lint: allow(<rule>): <justification>` pragmas).
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;  // fix-it guidance, empty for pragma bookkeeping rules
+};
+
+struct FileInput {
+  std::string display_path;  // printed in findings (as passed on the CLI)
+  std::string norm_path;     // forward-slash path used for allowlist matching
+  std::string content;
+  // Content of the companion header (foo.h next to foo.cc), if any. Used so
+  // iteration rules see container members declared in the header.
+  std::string companion_content;
+};
+
+// The rule ids a pragma may name, i.e. the pragma allowlist.
+const std::vector<std::string>& KnownRules();
+
+// Lexes the file and runs every rule, applying `lint: allow` pragmas.
+// Returned findings are sorted by line.
+std::vector<Finding> RunRules(const FileInput& file);
+
+}  // namespace pafeat_lint
+
+#endif  // PAFEAT_TOOLS_LINT_RULES_H_
