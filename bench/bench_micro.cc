@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/defaults.h"
 #include "core/etree.h"
+#include "core/feat.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "ml/masked_dnn.h"
@@ -333,6 +335,101 @@ void BM_AgentAct(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AgentAct);
+
+// The per-step Q-query cost of the buffer-filling phase with 64 live
+// episodes, legacy vs batched: SingleRow issues 64 batch-of-one queries (the
+// blocking per-episode path retired by the batched inference plane), Batched
+// gathers the same 64 observations into one ActBatch forward pass. Both
+// produce bit-identical actions; the batched pass amortizes weight-matrix
+// traffic across rows (the 4-row interleave in the NT kernel). Sized at the
+// Emotions observation width (147) and the synthetic extreme (2043).
+constexpr int kStepInferenceRows = 64;
+
+void BM_StepInferenceSingleRow(benchmark::State& state) {
+  const int obs_dim = static_cast<int>(state.range(0));
+  Rng rng(43);
+  DqnConfig config;
+  config.net.input_dim = obs_dim;
+  DqnAgent agent(config, &rng);
+  std::vector<float> observations(
+      static_cast<size_t>(kStepInferenceRows) * obs_dim);
+  for (float& v : observations) {
+    v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  std::vector<int> actions(kStepInferenceRows);
+  for (auto _ : state) {
+    for (int r = 0; r < kStepInferenceRows; ++r) {
+      agent.ActBatch(1, observations.data() + static_cast<size_t>(r) * obs_dim,
+                     &actions[r]);
+    }
+    benchmark::DoNotOptimize(actions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStepInferenceRows);
+}
+BENCHMARK(BM_StepInferenceSingleRow)->Arg(147)->Arg(2043);
+
+void BM_StepInferenceBatched(benchmark::State& state) {
+  const int obs_dim = static_cast<int>(state.range(0));
+  Rng rng(43);
+  DqnConfig config;
+  config.net.input_dim = obs_dim;
+  DqnAgent agent(config, &rng);
+  std::vector<float> observations(
+      static_cast<size_t>(kStepInferenceRows) * obs_dim);
+  for (float& v : observations) {
+    v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  std::vector<int> actions(kStepInferenceRows);
+  for (auto _ : state) {
+    agent.ActBatch(kStepInferenceRows, observations.data(), actions.data());
+    benchmark::DoNotOptimize(actions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStepInferenceRows);
+}
+BENCHMARK(BM_StepInferenceBatched)->Arg(147)->Arg(2043);
+
+// Full Algorithm-1 iterations end to end with the step-synchronous batched
+// collection on vs the legacy blocking path: same work, different execution
+// plan (this also pays environment steps, reward evaluations, and the
+// parameter-updating phase, so the delta here is diluted relative to the
+// pure step-inference pair above).
+struct IterationFixture {
+  IterationFixture() {
+    SyntheticSpec spec;
+    spec.num_instances = 240;
+    spec.num_features = 32;
+    spec.num_seen_tasks = 3;
+    spec.num_unseen_tasks = 1;
+    spec.seed = 44;
+    dataset = GenerateSynthetic(spec);
+    problem =
+        std::make_unique<FsProblem>(dataset.table, DefaultProblemConfig(true),
+                                    45);
+  }
+  SyntheticDataset dataset;
+  std::unique_ptr<FsProblem> problem;
+};
+
+void RunIterationBench(benchmark::State& state, bool batched) {
+  IterationFixture fixture;
+  FeatConfig config = DefaultFeatOptions(60, 46).feat;
+  config.envs_per_iteration = 8;
+  config.batched_inference = batched;
+  Feat feat(fixture.problem.get(), fixture.dataset.SeenTaskIndices(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat.RunIteration().episodes);
+  }
+}
+
+void BM_IterationBatched(benchmark::State& state) {
+  RunIterationBench(state, /*batched=*/true);
+}
+BENCHMARK(BM_IterationBatched);
+
+void BM_IterationSingleRow(benchmark::State& state) {
+  RunIterationBench(state, /*batched=*/false);
+}
+BENCHMARK(BM_IterationSingleRow);
 
 void BM_TaskRepresentation(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

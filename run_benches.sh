@@ -44,3 +44,17 @@ build/bench/bench_micro \
   --benchmark_out_format=json \
   --benchmark_out=bench/baselines/BENCH_reward.json > /dev/null 2>&1 \
   && echo "wrote bench/baselines/BENCH_reward.json"
+
+echo "===================================================================="
+echo "== Batched inference plane -> bench/baselines/BENCH_batch.json"
+echo "===================================================================="
+# Step-inference throughput of the batched plane vs the single-row legacy
+# path, plus full iterations with batched collection on/off; the seed's
+# single-row numbers are frozen in bench/baselines/BENCH_batch_seed.json.
+build/bench/bench_micro \
+  --benchmark_filter='BM_StepInference|BM_Iteration' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out=bench/baselines/BENCH_batch.json > /dev/null 2>&1 \
+  && echo "wrote bench/baselines/BENCH_batch.json"

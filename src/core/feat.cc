@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include <cstddef>
+
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/greedy_policy.h"
 #include "core/its.h"
+#include "nn/workspace.h"
+#include "rl/episode_driver.h"
 
 namespace pafeat {
 
@@ -146,6 +150,95 @@ Trajectory Feat::RunEpisode(const EpisodePlan& plan,
   return trajectory;
 }
 
+void Feat::CollectEpisodesBatched(
+    const std::vector<EpisodePlan>& plans, int num_threads,
+    std::vector<Trajectory>* trajectories,
+    std::vector<std::vector<int>>* episode_actions) {
+  const int num_episodes = static_cast<int>(plans.size());
+  const int obs_dim = tasks_.front().env->observation_dim();
+  // Epsilon is constant across the whole buffer-filling phase — gradient
+  // steps (which advance the schedule) only happen in the updating phase —
+  // so it is sampled once, exactly like each blocking episode would see it.
+  const float epsilon = agent_->CurrentEpsilon();
+
+  std::vector<EpisodeDriver> drivers;
+  drivers.reserve(num_episodes);
+  std::vector<EpisodeDriver::RewardShapeFn> shapers(num_episodes);
+  for (int i = 0; i < num_episodes; ++i) {
+    const EpisodePlan& plan = plans[i];
+    drivers.emplace_back(*tasks_[plan.slot].env, plan.rng);
+    if (plan.start.has_value()) {
+      drivers.back().StartFrom(plan.start->state, plan.start->prefix,
+                               plan.start->random_policy);
+    } else {
+      drivers.back().StartDefault();
+    }
+    if (reward_shaper_ != nullptr) {
+      RewardShaper* shaper = reward_shaper_.get();
+      const int slot = plan.slot;
+      const double context = plan.shaper_context;
+      shapers[i] = [shaper, slot, context](double raw, Rng* rng) {
+        return shaper->Shape(raw, slot, context, rng);
+      };
+    }
+  }
+
+  // Live set in plan order: the serial planning pass below must draw from
+  // the episode streams in a fixed order so runs stay bit-identical at any
+  // thread count and any retirement pattern.
+  std::vector<int> live;
+  live.reserve(num_episodes);
+  for (int i = 0; i < num_episodes; ++i) {
+    if (!drivers[i].done()) live.push_back(i);
+  }
+
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  std::vector<int> greedy;
+  std::vector<int> greedy_actions;
+  while (!live.empty()) {
+    // Phase 1 (serial, plan order): exploration decisions for this step.
+    greedy.clear();
+    for (int index : live) {
+      if (drivers[index].PlanStep(epsilon)) greedy.push_back(index);
+    }
+    // Phase 2: one batched forward pass over every driver that wants a
+    // greedy action this step.
+    if (!greedy.empty()) {
+      ArenaScope scope(arena);
+      const int rows = static_cast<int>(greedy.size());
+      float* batch =
+          arena->Alloc(static_cast<std::size_t>(rows) * obs_dim);
+      for (int r = 0; r < rows; ++r) {
+        drivers[greedy[r]].WriteObservation(
+            batch + static_cast<std::size_t>(r) * obs_dim);
+      }
+      greedy_actions.resize(rows);
+      agent_->ActBatch(rows, batch, greedy_actions.data());
+      for (int r = 0; r < rows; ++r) {
+        drivers[greedy[r]].SetPlannedAction(greedy_actions[r]);
+      }
+    }
+    // Phase 3 (parallel): environment steps + reward shaping. Each worker
+    // touches only its own driver; the reward cache behind the shared
+    // evaluator is locked.
+    ThreadPool::Global()->ParallelFor(
+        static_cast<int>(live.size()), num_threads, [&](int i) {
+          drivers[live[i]].ApplyAction(shapers[live[i]]);
+        });
+    // Phase 4: retire finished episodes, preserving plan order.
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](int index) {
+                                return drivers[index].done();
+                              }),
+               live.end());
+  }
+
+  for (int i = 0; i < num_episodes; ++i) {
+    (*trajectories)[i] = drivers[i].TakeTrajectory();
+    (*episode_actions)[i] = drivers[i].actions();
+  }
+}
+
 std::vector<BatchItem> Feat::BuildBatch(int slot, int count) {
   SeenTaskRuntime& task = tasks_[slot];
   const std::vector<const Transition*> sampled =
@@ -203,14 +296,16 @@ IterationStats Feat::RunIteration() {
   std::vector<std::vector<int>> episode_actions(num_episodes);
   const int num_threads =
       std::max(1, std::min(config_.num_threads, num_episodes));
-  if (num_threads == 1) {
-    for (int i = 0; i < num_episodes; ++i) {
-      trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
-    }
+  if (config_.batched_inference) {
+    CollectEpisodesBatched(plans, num_threads, &trajectories,
+                           &episode_actions);
   } else {
-    // Submit the plans to the persistent pool instead of spawning threads:
-    // the plan-then-commit structure above/below keeps results bit-identical
-    // regardless of which pool thread runs which episode.
+    // Legacy blocking path, kept as the reference for equivalence tests.
+    // The plans run on the persistent pool instead of spawned threads; the
+    // plan-then-commit structure above/below keeps results bit-identical
+    // regardless of which pool thread runs which episode. ParallelFor
+    // degrades to an inline loop at max_parallelism 1, so the serial case
+    // shares this code instead of a duplicated body.
     ThreadPool::Global()->ParallelFor(num_episodes, num_threads, [&](int i) {
       trajectories[i] = RunEpisode(plans[i], &episode_actions[i]);
     });
@@ -281,6 +376,12 @@ FeatureMask Feat::SelectForRepresentation(
   // computed (execution must not touch a classifier).
   return GreedySelectSubset(agent_->online_net(), repr,
                             config_.max_feature_ratio);
+}
+
+std::vector<FeatureMask> Feat::SelectForRepresentations(
+    const std::vector<std::vector<float>>& reprs) const {
+  return GreedySelectSubsets(agent_->online_net(), reprs,
+                             config_.max_feature_ratio);
 }
 
 FeatureMask Feat::SelectForTask(int label_index, double* execution_seconds) {

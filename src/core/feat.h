@@ -31,6 +31,14 @@ struct FeatConfig {
   // (task choice, initial state, per-episode RNG), executed on the pool,
   // and committed in plan order.
   int num_threads = 1;
+  // Step-synchronous episode collection (DESIGN.md "Batched inference
+  // plane"): all live episodes advance in lock-step and their greedy Q
+  // queries are gathered into one batched forward pass per step instead of
+  // one single-row pass per episode per step. Bit-identical to the legacy
+  // blocking path (kept, off, as the reference for equivalence tests) —
+  // exploration draws happen in plan order on the per-episode streams and
+  // batched Q rows match single-row queries bit-for-bit.
+  bool batched_inference = true;
   int recent_returns_window = 32;
   DqnConfig dqn;                 // dqn.net.input_dim is filled automatically
   uint64_t seed = 7;
@@ -160,6 +168,13 @@ class Feat {
   // Greedy episode for an already-computed representation (no reward calls).
   FeatureMask SelectForRepresentation(const std::vector<float>& repr) const;
 
+  // Greedy episodes for several representations at once: the per-position Q
+  // queries of all tasks are coalesced into one batched forward pass
+  // (lock-step scan). Result i is bit-identical to
+  // SelectForRepresentation(reprs[i]) — the multi-task serving path.
+  std::vector<FeatureMask> SelectForRepresentations(
+      const std::vector<std::vector<float>>& reprs) const;
+
   // Adds a task (typically unseen, now labeled) to the training set for the
   // further-training mode of §IV-D. Returns its runtime slot.
   int AddTask(int label_index);
@@ -190,6 +205,14 @@ class Feat {
 
   Trajectory RunEpisode(const EpisodePlan& plan,
                         std::vector<int>* full_actions);
+  // Step-synchronous execution of all planned episodes: per step, a serial
+  // plan-order planning pass (exploration draws), one batched greedy Q pass
+  // over every live driver, then a parallel environment-step pass. Fills
+  // `trajectories` and `episode_actions` indexed like `plans`.
+  void CollectEpisodesBatched(const std::vector<EpisodePlan>& plans,
+                              int num_threads,
+                              std::vector<Trajectory>* trajectories,
+                              std::vector<std::vector<int>>* episode_actions);
   std::vector<BatchItem> BuildBatch(int slot, int count);
 
   FsProblem* problem_;

@@ -1,6 +1,7 @@
 #include "core/greedy_policy.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.h"
 #include "rl/fs_env.h"
@@ -10,43 +11,82 @@ namespace pafeat {
 FeatureMask GreedySelectSubset(const DuelingNet& net,
                                const std::vector<float>& representation,
                                double max_feature_ratio) {
-  const int m = static_cast<int>(representation.size());
+  return GreedySelectSubsets(net, {representation}, max_feature_ratio)[0];
+}
+
+std::vector<FeatureMask> GreedySelectSubsets(
+    const DuelingNet& net,
+    const std::vector<std::vector<float>>& representations,
+    double max_feature_ratio) {
+  const int num_tasks = static_cast<int>(representations.size());
+  if (num_tasks == 0) return {};
+  const int m = static_cast<int>(representations[0].size());
   PF_CHECK_GT(m, 0);
   PF_CHECK_EQ(net.config().input_dim, 2 * m + 3);
   PF_CHECK_GT(max_feature_ratio, 0.0);
   const int max_selectable =
       std::max(1, static_cast<int>(max_feature_ratio * m));
+  const int obs_dim = 2 * m + 3;
 
-  std::vector<float> observation(2 * m + 3, 0.0f);
-  std::copy(representation.begin(), representation.end(),
-            observation.begin());
-  FeatureMask mask(m, 0);
-  int selected = 0;
-  // Per-step Q queries share the thread's inference arena: the execution
-  // path allocates nothing per step.
+  std::vector<std::vector<float>> observations(
+      num_tasks, std::vector<float>(obs_dim, 0.0f));
+  std::vector<FeatureMask> masks(num_tasks, FeatureMask(m, 0));
+  std::vector<int> selected(num_tasks, 0);
+  std::vector<int> live;
+  live.reserve(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    PF_CHECK_EQ(static_cast<int>(representations[t].size()), m);
+    std::copy(representations[t].begin(), representations[t].end(),
+              observations[t].begin());
+    live.push_back(t);
+  }
+
+  // The whole multi-task scan shares the thread's inference arena: the
+  // execution path allocates nothing per step beyond these two blocks.
   InferenceArena* arena = InferenceArena::ThreadLocal();
   ArenaScope scope(arena);
-  float* q = arena->Alloc(kNumActions);
-  for (int position = 0; position < m && selected < max_selectable;
-       ++position) {
-    observation[2 * m] = static_cast<float>(position) / m;
-    observation[2 * m + 1] = representation[position];
-    observation[2 * m + 2] = static_cast<float>(selected) / m;
-    net.PredictInto(1, observation.data(), arena, q);
-    if (q[kActionSelect] > q[kActionDeselect]) {
-      mask[position] = 1;
-      observation[m + position] = 1.0f;
-      ++selected;
+  float* batch =
+      arena->Alloc(static_cast<std::size_t>(num_tasks) * obs_dim);
+  float* q =
+      arena->Alloc(static_cast<std::size_t>(num_tasks) * kNumActions);
+  for (int position = 0; position < m && !live.empty(); ++position) {
+    const int rows = static_cast<int>(live.size());
+    for (int r = 0; r < rows; ++r) {
+      const int t = live[r];
+      std::vector<float>& observation = observations[t];
+      observation[2 * m] = static_cast<float>(position) / m;
+      observation[2 * m + 1] = representations[t][position];
+      observation[2 * m + 2] = static_cast<float>(selected[t]) / m;
+      std::copy(observation.begin(), observation.end(),
+                batch + static_cast<std::size_t>(r) * obs_dim);
     }
+    // One forward pass decides this position for every live task.
+    net.PredictBatchInto(rows, batch, arena, q);
+    for (int r = 0; r < rows; ++r) {
+      const int t = live[r];
+      const float* q_row = q + static_cast<std::size_t>(r) * kNumActions;
+      if (q_row[kActionSelect] > q_row[kActionDeselect]) {
+        masks[t][position] = 1;
+        observations[t][m + position] = 1.0f;
+        ++selected[t];
+      }
+    }
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](int t) {
+                                return selected[t] >= max_selectable;
+                              }),
+               live.end());
   }
-  if (selected == 0) {
+  for (int t = 0; t < num_tasks; ++t) {
+    if (selected[t] > 0) continue;
+    const std::vector<float>& representation = representations[t];
     int best = 0;
     for (int f = 1; f < m; ++f) {
       if (representation[f] > representation[best]) best = f;
     }
-    mask[best] = 1;
+    masks[t][best] = 1;
   }
-  return mask;
+  return masks;
 }
 
 }  // namespace pafeat

@@ -16,9 +16,25 @@ namespace pafeat {
 //
 // The network's input must be laid out as the FeatureSelectionEnv
 // observation: [task_repr(m) | mask(m) | pos/m | repr[pos] | selected/m].
+//
+// Implemented as GreedySelectSubsets on a batch of one — there is no
+// separate single-task scan.
 FeatureMask GreedySelectSubset(const DuelingNet& net,
                                const std::vector<float>& representation,
                                double max_feature_ratio);
+
+// Multi-task execution through the batched inference plane: all tasks scan
+// their feature positions in lock-step and each position's Q queries run as
+// one batched forward pass instead of one single-row pass per task. Tasks
+// whose selection budget is exhausted retire from the batch. Result i is
+// bit-identical to GreedySelectSubset(net, representations[i], ...) — the
+// kernels guarantee per-row bits independent of the batch composition. All
+// representations must have the same dimension (one Q-network serves one
+// observation layout).
+std::vector<FeatureMask> GreedySelectSubsets(
+    const DuelingNet& net,
+    const std::vector<std::vector<float>>& representations,
+    double max_feature_ratio);
 
 }  // namespace pafeat
 

@@ -1,6 +1,7 @@
 #include "core/pafeat.h"
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace pafeat {
 
@@ -26,6 +27,22 @@ double PaFeat::Train(int iterations) { return feat_->Train(iterations); }
 FeatureMask PaFeat::SelectFeatures(int unseen_label_index,
                                    double* execution_seconds) {
   return feat_->SelectForTask(unseen_label_index, execution_seconds);
+}
+
+std::vector<FeatureMask> PaFeat::SelectFeaturesForTasks(
+    const std::vector<int>& unseen_label_indices,
+    double* execution_seconds) {
+  WallTimer timer;
+  std::vector<std::vector<float>> reprs;
+  reprs.reserve(unseen_label_indices.size());
+  for (int label_index : unseen_label_indices) {
+    reprs.push_back(feat_->problem().ComputeTaskRepresentation(label_index));
+  }
+  std::vector<FeatureMask> masks = feat_->SelectForRepresentations(reprs);
+  if (execution_seconds != nullptr) {
+    *execution_seconds = timer.ElapsedSeconds();
+  }
+  return masks;
 }
 
 FeatureMask PaFeat::FurtherTrain(

@@ -42,6 +42,16 @@ class PaFeat {
   FeatureMask SelectFeatures(int unseen_label_index,
                              double* execution_seconds = nullptr);
 
+  // Fast feature selection for several unseen tasks at once: the per-step Q
+  // queries of all tasks run through the batched inference plane (one
+  // forward pass per feature position instead of one per task per
+  // position). Mask i is bit-identical to SelectFeatures(unseen[i]).
+  // `execution_seconds` (optional) receives the total wall time over the
+  // batch.
+  std::vector<FeatureMask> SelectFeaturesForTasks(
+      const std::vector<int>& unseen_label_indices,
+      double* execution_seconds = nullptr);
+
   // §IV-D: further training on one (now labeled) unseen task. The callback,
   // when set, is invoked every `callback_every` iterations with the current
   // greedy selection for the task. Returns the final selection.

@@ -69,17 +69,36 @@ Matrix DuelingNet::Predict(const Matrix& states) const {
 
 void DuelingNet::PredictInto(int rows, const float* states,
                              InferenceArena* arena, float* q_out) const {
+  PredictImpl(rows, states, arena, q_out, /*batched=*/false);
+}
+
+void DuelingNet::PredictBatchInto(int rows, const float* states,
+                                  InferenceArena* arena, float* q_out) const {
+  PredictImpl(rows, states, arena, q_out, /*batched=*/true);
+}
+
+void DuelingNet::PredictImpl(int rows, const float* states,
+                             InferenceArena* arena, float* q_out,
+                             bool batched) const {
   ArenaScope scope(arena);
   const int feature_dim = trunk_.config().output_dim;
   const int num_actions = config_.num_actions;
   float* features =
       arena->Alloc(static_cast<std::size_t>(rows) * feature_dim);
-  trunk_.PredictInto(rows, states, arena, features);
   float* value = arena->Alloc(static_cast<std::size_t>(rows));
-  value_head_.PredictInto(rows, features, arena, value);
-  // Advantages land straight in q_out; the aggregation then runs in place
-  // with the exact loop (and rounding order) of Aggregate.
-  advantage_head_.PredictInto(rows, features, arena, q_out);
+  if (batched) {
+    trunk_.PredictBatchInto(rows, states, arena, features);
+    value_head_.PredictBatchInto(rows, features, arena, value);
+    advantage_head_.PredictBatchInto(rows, features, arena, q_out);
+  } else {
+    trunk_.PredictInto(rows, states, arena, features);
+    value_head_.PredictInto(rows, features, arena, value);
+    // Advantages land straight in q_out; the aggregation then runs in place
+    // with the exact loop (and rounding order) of Aggregate.
+    advantage_head_.PredictInto(rows, features, arena, q_out);
+  }
+  // The per-row aggregation below only ever reads within its own row, so it
+  // preserves the row-bit-stability the batched kernels guarantee.
   for (int r = 0; r < rows; ++r) {
     float* q_row = q_out + static_cast<std::size_t>(r) * num_actions;
     float mean_adv = 0.0f;

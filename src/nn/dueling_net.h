@@ -40,6 +40,14 @@ class DuelingNet {
   void PredictInto(int rows, const float* states, InferenceArena* arena,
                    float* q_out) const;
 
+  // Batched-inference forward pass (DESIGN.md "Batched inference plane"):
+  // same result shape as PredictInto, but trunk and heads run through
+  // Mlp::PredictBatchInto, so row r of the Q-matrix is bit-identical to
+  // PredictInto(1, row r) at any batch size. All step-synchronous Q queries
+  // (DqnAgent::ActBatch, the greedy execution path) funnel here.
+  void PredictBatchInto(int rows, const float* states, InferenceArena* arena,
+                        float* q_out) const;
+
   // Backpropagates dL/dQ through the cached Forward.
   void Backward(const Matrix& grad_q);
 
@@ -57,6 +65,11 @@ class DuelingNet {
  private:
   // Splits V (batch x 1) and A (batch x num_actions) into Q.
   static Matrix Aggregate(const Matrix& value, const Matrix& advantage);
+
+  // Shared body of PredictInto / PredictBatchInto; `batched` routes the
+  // trunk and heads through the row-bit-stable batched kernels.
+  void PredictImpl(int rows, const float* states, InferenceArena* arena,
+                   float* q_out, bool batched) const;
 
   DuelingNetConfig config_;
   Mlp trunk_;

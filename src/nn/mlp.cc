@@ -80,6 +80,17 @@ void Mlp::PredictInto(int rows, const float* input, InferenceArena* arena,
 
 void Mlp::PredictTailInto(int first_layer, int rows, const float* input,
                           InferenceArena* arena, float* out) const {
+  PredictTailImpl(first_layer, rows, input, arena, out, /*rowwise=*/false);
+}
+
+void Mlp::PredictBatchInto(int rows, const float* input, InferenceArena* arena,
+                           float* out) const {
+  PredictTailImpl(0, rows, input, arena, out, /*rowwise=*/true);
+}
+
+void Mlp::PredictTailImpl(int first_layer, int rows, const float* input,
+                          InferenceArena* arena, float* out,
+                          bool rowwise) const {
   PF_CHECK_GE(first_layer, 0);
   PF_CHECK_LT(first_layer, num_layers());
   PF_CHECK_GT(rows, 0);
@@ -92,10 +103,18 @@ void Mlp::PredictTailInto(int first_layer, int rows, const float* input,
     const std::size_t count = static_cast<std::size_t>(rows) * out_dim;
     float* next = i + 1 == num_layers() ? out : arena->Alloc(count);
     std::fill_n(next, count, 0.0f);
-    // Same GemmNT call Matrix::MatMulTransposed makes for this shape, so the
-    // allocation-free path stays bit-identical to the Matrix-based one.
-    kernels::GemmNT(rows, out_dim, in_dim, current, in_dim,
-                    layer.weight.data(), in_dim, next, out_dim);
+    if (rowwise) {
+      // Batched inference plane: per-row bits independent of `rows`, so
+      // each row matches its own batch-of-1 PredictInto.
+      kernels::GemmNTRowwise(rows, out_dim, in_dim, current, in_dim,
+                             layer.weight.data(), in_dim, next, out_dim);
+    } else {
+      // Same GemmNT call Matrix::MatMulTransposed makes for this shape, so
+      // the allocation-free path stays bit-identical to the Matrix-based
+      // one.
+      kernels::GemmNT(rows, out_dim, in_dim, current, in_dim,
+                      layer.weight.data(), in_dim, next, out_dim);
+    }
     AddBiasRows(rows, out_dim, layer.bias.data(), next);
     ApplyActivation(layer.activation, next, static_cast<int>(count));
     current = next;

@@ -49,6 +49,17 @@ class Mlp {
   void PredictTailInto(int first_layer, int rows, const float* input,
                        InferenceArena* arena, float* out) const;
 
+  // Batched-inference forward pass (DESIGN.md "Batched inference plane"):
+  // same layers and shapes as PredictInto, but every layer product runs
+  // through kernels::GemmNTRowwise, whose per-row bits are independent of
+  // the batch size. Row r of the result is therefore bit-identical to
+  // PredictInto(1, row r) — live episodes can join and leave the batch
+  // without perturbing anyone's trajectory. Training keeps PredictInto's
+  // m >= 8 transpose+NN strategy, which is faster at fixed batch sizes but
+  // batch-shape-sensitive.
+  void PredictBatchInto(int rows, const float* input, InferenceArena* arena,
+                        float* out) const;
+
   // Masked-subset inference fast path (DESIGN.md "Inference fast path"):
   // first layer as a column-gathered product over the `ncols` selected
   // columns of `x` (rows x ldx, only the listed columns are read), then the
@@ -99,6 +110,11 @@ class Mlp {
   const MlpConfig& config() const { return config_; }
 
  private:
+  // Shared body of PredictTailInto / PredictBatchInto; `rowwise` selects the
+  // batch-size-independent GemmNTRowwise kernel for every layer.
+  void PredictTailImpl(int first_layer, int rows, const float* input,
+                       InferenceArena* arena, float* out, bool rowwise) const;
+
   struct Layer {
     Matrix weight;  // out x in
     Matrix bias;    // 1 x out

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/logging.h"
 
@@ -29,16 +30,28 @@ int DqnAgent::Act(const std::vector<float>& observation, Rng* rng,
   if (!greedy && rng->Bernoulli(CurrentEpsilon())) {
     return rng->UniformInt(config_.net.num_actions);
   }
+  int action = 0;
+  ActBatch(1, observation.data(), &action);
+  return action;
+}
+
+void DqnAgent::ActBatch(int rows, const float* observations,
+                        int* actions) const {
+  PF_CHECK_GT(rows, 0);
   const int num_actions = config_.net.num_actions;
   InferenceArena* arena = InferenceArena::ThreadLocal();
   ArenaScope scope(arena);
-  float* q = arena->Alloc(num_actions);
-  QValuesInto(observation.data(), q);
-  int best = 0;
-  for (int a = 1; a < num_actions; ++a) {
-    if (q[a] > q[best]) best = a;
+  float* q = arena->Alloc(static_cast<std::size_t>(rows) * num_actions);
+  online_->PredictBatchInto(rows, observations, arena, q);
+  for (int r = 0; r < rows; ++r) {
+    const float* q_row = q + static_cast<std::size_t>(r) * num_actions;
+    // First-max tie-breaking, matching the historical single-row argmax.
+    int best = 0;
+    for (int a = 1; a < num_actions; ++a) {
+      if (q_row[a] > q_row[best]) best = a;
+    }
+    actions[r] = best;
   }
-  return best;
 }
 
 std::vector<float> DqnAgent::QValues(
@@ -49,7 +62,13 @@ std::vector<float> DqnAgent::QValues(
 }
 
 void DqnAgent::QValuesInto(const float* observation, float* q_out) const {
-  online_->PredictInto(1, observation, InferenceArena::ThreadLocal(), q_out);
+  QValuesBatchInto(1, observation, q_out);
+}
+
+void DqnAgent::QValuesBatchInto(int rows, const float* observations,
+                                float* q_out) const {
+  online_->PredictBatchInto(rows, observations, InferenceArena::ThreadLocal(),
+                            q_out);
 }
 
 void DqnAgent::EnsurePopArtSize(int task_id) {

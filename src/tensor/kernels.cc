@@ -33,6 +33,10 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
                   int ncols, const float* b, int ldb, float* c, int ldc);
+// Intrinsics-based row-wise NT core (defined in kernels_avx2.cc, not the
+// .inl): per-row bits independent of the batch size, see GemmNTRowwise.
+void GemmNTRowwise(int m, int n, int p, const float* a, int lda,
+                   const float* b, int ldb, float* c, int ldc);
 }  // namespace avx2
 #endif
 
@@ -47,6 +51,13 @@ struct Dispatch {
   GemmFn nn;
   GemmFn tn;
   GemmFn nt;
+  // Row-wise NT core whose per-row bits are independent of m (the batched
+  // inference plane's contract). The generic instantiation's NT dot core
+  // already has that property (plain 1x1 tile, no cross-row state); the
+  // AVX2 TU supplies a dedicated 4-row-interleaved intrinsics core because
+  // its .inl NT core's bits are m-independent too but slow, and a portable
+  // interleave would let the compiler contract rows differently.
+  GemmFn nt_rowwise;
   GatherFn gather;
   bool avx2 = false;
 };
@@ -56,11 +67,11 @@ const Dispatch& Impl() {
 #ifdef PAFEAT_HAVE_AVX2_TU
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
       return Dispatch{avx2::GemmNN, avx2::GemmTN, avx2::GemmNT,
-                      avx2::GemmGatherNN, true};
+                      avx2::GemmNTRowwise, avx2::GemmGatherNN, true};
     }
 #endif
     return Dispatch{generic::GemmNN, generic::GemmTN, generic::GemmNT,
-                    generic::GemmGatherNN, false};
+                    generic::GemmNT, generic::GemmGatherNN, false};
   }();
   return dispatch;
 }
@@ -165,7 +176,11 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
   PF_DCHECK(DisjointFromC(c, m, ldc, a, m, lda)) << "GemmNT: C aliases A";
   PF_DCHECK(DisjointFromC(c, m, ldc, b, n, ldb)) << "GemmNT: C aliases B";
   if (m < kNtTransposeMinRows) {
-    Impl().nt(m, n, p, a, lda, b, ldb, c, ldc);
+    // Small products use the row-wise core — the same function GemmNTRowwise
+    // runs — so a single-row query through this entry point is bit-identical
+    // to the corresponding row of a batched GemmNTRowwise call. The batched
+    // inference plane (DESIGN.md "Batched inference plane") relies on this.
+    Impl().nt_rowwise(m, n, p, a, lda, b, ldb, c, ldc);
     return;
   }
   // C += A * B^T == GemmNN(A, B^T): materialize B^T once and reuse the NN
@@ -184,6 +199,29 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
   }
   RunRowPanels(core, panels, m, n, p, a, lda, static_cast<std::size_t>(lda),
                bt.data(), n, c, ldc);
+}
+
+void GemmNTRowwise(int m, int n, int p, const float* a, int lda,
+                   const float* b, int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || p <= 0) return;
+  PF_DCHECK_GE(lda, p);
+  PF_DCHECK_GE(ldb, p);  // B is n x p, transposed logically
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK(DisjointFromC(c, m, ldc, a, m, lda))
+      << "GemmNTRowwise: C aliases A";
+  PF_DCHECK(DisjointFromC(c, m, ldc, b, n, ldb))
+      << "GemmNTRowwise: C aliases B";
+  const GemmFn core = Impl().nt_rowwise;
+  const int panels = NumPanels(m, 2LL * m * n * p);
+  if (panels <= 1) {
+    core(m, n, p, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Safe to split at any aligned boundary: the core computes each row with
+  // an m-independent operation sequence, so the panel partition cannot
+  // change bits (unlike GemmNT, whose strategy switch must see the full m).
+  RunRowPanels(core, panels, m, n, p, a, lda, static_cast<std::size_t>(lda),
+               b, ldb, c, ldc);
 }
 
 void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,

@@ -18,9 +18,9 @@ namespace kernels {
 //
 // Implementation notes (see DESIGN.md "Tensor kernel layer"):
 //  * Cache-blocked (column panels + k panels) with a 4-row register-tiled,
-//    k-unrolled micro-kernel whose inner loop auto-vectorizes; GemmNT uses
-//    a lane-split dot-product kernel instead so no operand transpose is
-//    ever materialized.
+//    k-unrolled micro-kernel whose inner loop auto-vectorizes; GemmNT at
+//    m >= 8 materializes B^T once and reuses the NN core, below that it
+//    runs the row-wise dot-product core (see GemmNTRowwise).
 //  * Two instantiations of the same micro-kernels are compiled — a portable
 //    one and an AVX2+FMA one — and dispatched once per process by CPUID.
 //  * Large products additionally split their output-row panels across the
@@ -33,6 +33,20 @@ void GemmTN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
+
+// Row-independent variant of GemmNT for the batched inference plane
+// (DESIGN.md "Batched inference plane"): always a dot-product core, never
+// the m >= 8 transpose+NN strategy, so every output row is computed with an
+// operation sequence independent of m (and of the pool row split). Row i of
+// an m-row call is bit-identical to a 1-row call on that row — which is also
+// what GemmNT itself computes below its transpose threshold, making batched
+// Q queries bitwise equal to today's single-row queries by construction.
+// On AVX2 hosts the core interleaves four rows per pass (four independent
+// FMA chains sharing each streamed B row), which is the batched plane's
+// step-inference speedup on a single executor; large batches additionally
+// split row panels across the thread pool.
+void GemmNTRowwise(int m, int n, int p, const float* a, int lda,
+                   const float* b, int ldb, float* c, int ldc);
 
 // Column-gathered product for masked-subset inference (DESIGN.md "Inference
 // fast path"):

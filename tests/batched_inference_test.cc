@@ -1,0 +1,270 @@
+// Bitwise equivalence of the batched inference plane against the legacy
+// single-row path, at every layer of the stack (DESIGN.md "Batched inference
+// plane"): the row-wise GEMM core, DuelingNet::PredictBatchInto,
+// DqnAgent::ActBatch, the multi-task greedy scan, and full training
+// iterations with batched episode collection on and off. "Equal" here always
+// means bit-identical floats, not merely close.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/defaults.h"
+#include "core/feat.h"
+#include "core/greedy_policy.h"
+#include "data/synthetic.h"
+#include "nn/dueling_net.h"
+#include "nn/workspace.h"
+#include "rl/dqn_agent.h"
+#include "rl/fs_env.h"
+#include "tensor/kernels.h"
+
+namespace pafeat {
+namespace {
+
+std::vector<float> RandomVec(size_t size, Rng* rng) {
+  std::vector<float> v(size);
+  for (float& x : v) x = static_cast<float>(rng->Normal(0.0, 1.0));
+  return v;
+}
+
+// The foundation of the whole plane: every row of a batched GemmNTRowwise
+// call carries exactly the bits a single-row call would produce, for any
+// batch size and any shape (including remainder rows past the 4-row
+// interleave and odd reduction lengths that exercise the scalar tail).
+TEST(BatchedInferenceTest, GemmNTRowwiseRowsMatchSingleRowCallsBitwise) {
+  Rng rng(0x5eed);
+  const int n = 17;
+  for (int m : {1, 2, 3, 4, 5, 7, 8, 9, 16, 33}) {
+    for (int p : {1, 3, 8, 11, 64, 147, 515}) {
+      const std::vector<float> a = RandomVec(static_cast<size_t>(m) * p, &rng);
+      const std::vector<float> b = RandomVec(static_cast<size_t>(n) * p, &rng);
+      std::vector<float> batched(static_cast<size_t>(m) * n, 0.0f);
+      kernels::GemmNTRowwise(m, n, p, a.data(), p, b.data(), p,
+                             batched.data(), n);
+      for (int i = 0; i < m; ++i) {
+        std::vector<float> single(n, 0.0f);
+        kernels::GemmNT(1, n, p, a.data() + static_cast<size_t>(i) * p, p,
+                        b.data(), p, single.data(), n);
+        ASSERT_EQ(std::memcmp(batched.data() + static_cast<size_t>(i) * n,
+                              single.data(), sizeof(float) * n),
+                  0)
+            << "row " << i << " m=" << m << " p=" << p;
+      }
+    }
+  }
+}
+
+// Above the flop threshold the dispatcher splits the batch into row panels
+// and runs them on the pool; the split must never reach the result bits.
+TEST(BatchedInferenceTest, GemmNTRowwisePanelSplitPreservesRowBits) {
+  ThreadPool::EnsureGlobalWorkers(3);
+  Rng rng(0xab1e);
+  const int m = 64, n = 64, p = 600;  // 2*m*n*p ~ 4.9 MFLOP: multiple panels
+  const std::vector<float> a = RandomVec(static_cast<size_t>(m) * p, &rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(n) * p, &rng);
+  std::vector<float> batched(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmNTRowwise(m, n, p, a.data(), p, b.data(), p, batched.data(),
+                         n);
+  for (int i = 0; i < m; ++i) {
+    std::vector<float> single(n, 0.0f);
+    kernels::GemmNT(1, n, p, a.data() + static_cast<size_t>(i) * p, p,
+                    b.data(), p, single.data(), n);
+    ASSERT_EQ(std::memcmp(batched.data() + static_cast<size_t>(i) * n,
+                          single.data(), sizeof(float) * n),
+              0)
+        << "row " << i;
+  }
+}
+
+DuelingNetConfig SmallNetConfig(int input_dim) {
+  DuelingNetConfig config;
+  config.input_dim = input_dim;
+  config.trunk_hidden = {24, 16};
+  config.num_actions = kNumActions;
+  return config;
+}
+
+TEST(BatchedInferenceTest, PredictBatchIntoRowsMatchSingleRowPredictInto) {
+  Rng rng(0xd0e);
+  const int obs_dim = 23;
+  const DuelingNetConfig config = SmallNetConfig(obs_dim);
+  DuelingNet net(config, &rng);
+  InferenceArena* arena = InferenceArena::ThreadLocal();
+  for (int rows : {1, 2, 5, 8, 13}) {
+    const std::vector<float> states =
+        RandomVec(static_cast<size_t>(rows) * obs_dim, &rng);
+    std::vector<float> batched(static_cast<size_t>(rows) * kNumActions);
+    net.PredictBatchInto(rows, states.data(), arena, batched.data());
+    for (int r = 0; r < rows; ++r) {
+      std::vector<float> single(kNumActions);
+      // lint: allow(single-row-q): legacy reference for the equivalence test
+      net.PredictInto(1, states.data() + static_cast<size_t>(r) * obs_dim,
+                      arena, single.data());
+      ASSERT_EQ(std::memcmp(batched.data() + static_cast<size_t>(r) *
+                                                 kNumActions,
+                            single.data(), sizeof(float) * kNumActions),
+                0)
+          << "rows=" << rows << " row=" << r;
+    }
+  }
+}
+
+TEST(BatchedInferenceTest, ActBatchMatchesGreedyActPerRow) {
+  Rng rng(0xac7);
+  DqnConfig config;
+  config.net = SmallNetConfig(23);
+  Rng net_rng = rng.Fork(1);
+  DqnAgent agent(config, &net_rng);
+  const int rows = 9;
+  const std::vector<float> observations =
+      RandomVec(static_cast<size_t>(rows) * 23, &rng);
+  std::vector<int> batched(rows);
+  agent.ActBatch(rows, observations.data(), batched.data());
+  for (int r = 0; r < rows; ++r) {
+    const std::vector<float> observation(
+        observations.begin() + static_cast<size_t>(r) * 23,
+        observations.begin() + static_cast<size_t>(r + 1) * 23);
+    Rng unused(0);
+    EXPECT_EQ(batched[r], agent.Act(observation, &unused, /*greedy=*/true))
+        << "row " << r;
+    // And the Q-values behind the argmax agree bit-for-bit with the batch.
+    std::vector<float> single(kNumActions);
+    agent.QValuesInto(observation.data(), single.data());
+    std::vector<float> from_batch(kNumActions);
+    agent.QValuesBatchInto(1, observation.data(), from_batch.data());
+    EXPECT_EQ(std::memcmp(single.data(), from_batch.data(),
+                          sizeof(float) * kNumActions),
+              0);
+  }
+}
+
+TEST(BatchedInferenceTest, GreedySelectSubsetsMatchesPerTaskScans) {
+  Rng rng(0x6e3);
+  const int m = 12;
+  const DuelingNetConfig config = SmallNetConfig(2 * m + 3);
+  DuelingNet net(config, &rng);
+  std::vector<std::vector<float>> reprs;
+  for (int t = 0; t < 5; ++t) reprs.push_back(RandomVec(m, &rng));
+  const std::vector<FeatureMask> batched =
+      GreedySelectSubsets(net, reprs, 0.4);
+  ASSERT_EQ(batched.size(), reprs.size());
+  for (size_t t = 0; t < reprs.size(); ++t) {
+    EXPECT_EQ(batched[t], GreedySelectSubset(net, reprs[t], 0.4))
+        << "task " << t;
+  }
+}
+
+// --- full-training equivalence ---------------------------------------------
+
+SyntheticDataset SmallDataset() {
+  SyntheticSpec spec;
+  spec.num_instances = 300;
+  spec.num_features = 10;
+  spec.num_seen_tasks = 3;
+  spec.num_unseen_tasks = 2;
+  spec.seed = 17;
+  return GenerateSynthetic(spec);
+}
+
+FeatConfig SmallFeatConfig(bool batched, int threads) {
+  FeatConfig config = DefaultFeatOptions(50, 23).feat;
+  config.envs_per_iteration = 4;
+  config.max_feature_ratio = 0.5;
+  config.batched_inference = batched;
+  config.num_threads = threads;
+  return config;
+}
+
+void ExpectIdenticalTraining(Feat* a, Feat* b, const FsProblem& problem,
+                             const std::vector<int>& unseen) {
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    const IterationStats stats_a = a->RunIteration();
+    const IterationStats stats_b = b->RunIteration();
+    ASSERT_EQ(stats_a.mean_loss, stats_b.mean_loss)
+        << "iteration " << iteration;
+    ASSERT_EQ(stats_a.episodes, stats_b.episodes);
+  }
+  // Network parameters, bit for bit.
+  EXPECT_EQ(a->agent().online_net().SerializeParams(),
+            b->agent().online_net().SerializeParams());
+  // Replay buffer contents, transition by transition: same states, actions,
+  // reward bits, and termination flags in the same order.
+  for (int slot = 0; slot < a->num_tasks(); ++slot) {
+    const auto traj_a =
+        a->task_runtime(slot).buffer->RecentTrajectories(1 << 20);
+    const auto traj_b =
+        b->task_runtime(slot).buffer->RecentTrajectories(1 << 20);
+    ASSERT_EQ(traj_a.size(), traj_b.size()) << "slot " << slot;
+    for (size_t e = 0; e < traj_a.size(); ++e) {
+      ASSERT_EQ(traj_a[e]->episode_return, traj_b[e]->episode_return);
+      ASSERT_EQ(traj_a[e]->transitions.size(), traj_b[e]->transitions.size());
+      for (size_t s = 0; s < traj_a[e]->transitions.size(); ++s) {
+        const Transition& ta = traj_a[e]->transitions[s];
+        const Transition& tb = traj_b[e]->transitions[s];
+        ASSERT_TRUE(ta.state == tb.state) << "slot " << slot << " step " << s;
+        ASSERT_TRUE(ta.next_state == tb.next_state);
+        ASSERT_EQ(ta.action, tb.action);
+        ASSERT_EQ(std::memcmp(&ta.reward, &tb.reward, sizeof(float)), 0);
+        ASSERT_EQ(ta.done, tb.done);
+      }
+    }
+  }
+  // Final selections for the unseen tasks.
+  for (int label_index : unseen) {
+    const std::vector<float> repr =
+        problem.ComputeTaskRepresentation(label_index);
+    EXPECT_EQ(a->SelectForRepresentation(repr),
+              b->SelectForRepresentation(repr));
+  }
+}
+
+class BatchedTrainingTest : public ::testing::Test {
+ protected:
+  BatchedTrainingTest()
+      : dataset_(SmallDataset()),
+        problem_(dataset_.table, DefaultProblemConfig(true), 19) {}
+
+  SyntheticDataset dataset_;
+  FsProblem problem_;
+};
+
+// The tentpole guarantee: batched step-synchronous collection produces the
+// same trajectories, buffers, parameters, and selections as the legacy
+// blocking path — the batching is a pure execution-plan change.
+TEST_F(BatchedTrainingTest, BatchedMatchesLegacyBitwise) {
+  Feat batched(&problem_, dataset_.SeenTaskIndices(),
+               SmallFeatConfig(/*batched=*/true, /*threads=*/1));
+  Feat legacy(&problem_, dataset_.SeenTaskIndices(),
+              SmallFeatConfig(/*batched=*/false, /*threads=*/1));
+  ExpectIdenticalTraining(&batched, &legacy, problem_,
+                          dataset_.UnseenTaskIndices());
+}
+
+// And the thread-count half of the contract, through the batched plane: the
+// parallel environment-step phase must not reach results.
+TEST_F(BatchedTrainingTest, BatchedBitIdenticalAcrossThreadCounts) {
+  Feat serial(&problem_, dataset_.SeenTaskIndices(),
+              SmallFeatConfig(/*batched=*/true, /*threads=*/1));
+  Feat pooled(&problem_, dataset_.SeenTaskIndices(),
+              SmallFeatConfig(/*batched=*/true, /*threads=*/8));
+  ExpectIdenticalTraining(&serial, &pooled, problem_,
+                          dataset_.UnseenTaskIndices());
+}
+
+// Cross shape: multi-threaded batched vs single-threaded legacy — the two
+// ends of the execution-plan space.
+TEST_F(BatchedTrainingTest, PooledBatchedMatchesSerialLegacy) {
+  Feat batched(&problem_, dataset_.SeenTaskIndices(),
+               SmallFeatConfig(/*batched=*/true, /*threads=*/8));
+  Feat legacy(&problem_, dataset_.SeenTaskIndices(),
+              SmallFeatConfig(/*batched=*/false, /*threads=*/1));
+  ExpectIdenticalTraining(&batched, &legacy, problem_,
+                          dataset_.UnseenTaskIndices());
+}
+
+}  // namespace
+}  // namespace pafeat

@@ -12,7 +12,10 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/defaults.h"
+#include "core/feat.h"
 #include "data/feature_mask.h"
+#include "data/synthetic.h"
 #include "ml/masked_dnn.h"
 #include "ml/subset_evaluator.h"
 #include "tensor/matrix.h"
@@ -220,6 +223,48 @@ TEST(ConcurrencyStressTest, SubsetEvaluatorStampedeStress) {
           << "thread " << t << " mask " << idx;
     }
   }
+}
+
+// The batched inference plane's rendezvous under contention: every step
+// alternates a serial batched forward pass with a parallel environment-step
+// fan-out over the same drivers (core/feat.cc CollectEpisodesBatched). With
+// more episodes than the per-iteration default and more workers than
+// episodes, TSan sees the full hand-off pattern — driver state written on
+// the main thread (planned actions), read and advanced on pool workers,
+// then read again on the main thread next step. The serial/batched and
+// 1-vs-8-thread runs must also stay bit-identical through the stress
+// (the full field-by-field equivalence lives in batched_inference_test.cc).
+TEST(ConcurrencyStressTest, BatchedCollectionRendezvousStress) {
+  SyntheticSpec spec;
+  spec.num_instances = 240;
+  spec.num_features = 12;
+  spec.num_seen_tasks = 3;
+  spec.num_unseen_tasks = 1;
+  spec.seed = 29;
+  SyntheticDataset dataset = GenerateSynthetic(spec);
+  FsProblem problem(dataset.table, DefaultProblemConfig(true), 31);
+
+  FeatConfig base = DefaultFeatOptions(60, 29).feat;
+  base.envs_per_iteration = 8;  // wider batches than the small-test default
+  base.max_feature_ratio = 0.5;
+  base.batched_inference = true;
+
+  FeatConfig serial_config = base;
+  serial_config.num_threads = 1;
+  FeatConfig pooled_config = base;
+  pooled_config.num_threads = 8;
+
+  Feat serial(&problem, dataset.SeenTaskIndices(), serial_config);
+  Feat pooled(&problem, dataset.SeenTaskIndices(), pooled_config);
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    const IterationStats serial_stats = serial.RunIteration();
+    const IterationStats pooled_stats = pooled.RunIteration();
+    ASSERT_EQ(serial_stats.mean_loss, pooled_stats.mean_loss)
+        << "iteration " << iteration;
+    ASSERT_EQ(serial_stats.episodes, pooled_stats.episodes);
+  }
+  EXPECT_EQ(serial.agent().online_net().SerializeParams(),
+            pooled.agent().online_net().SerializeParams());
 }
 
 }  // namespace

@@ -8,6 +8,9 @@
 //   raw-thread      all parallelism flows through src/common/thread_pool.*
 //   unordered-iter  no iteration-order dependence on unordered containers
 //   raw-alloc       no raw new[]/malloc outside the tensor/arena layers
+//   single-row-q    no PredictInto(1, ...) Q queries outside the batched
+//                   inference plane (src/nn/); everything else funnels
+//                   through ActBatch/PredictBatchInto
 //   include-guard   headers carry path-derived include guards (the
 //                   compile-alone half of header hygiene is the generated
 //                   per-header TU target, see tools/lint/CMakeLists.txt)
@@ -199,6 +202,19 @@ int SelfTest() {
       {"tensor-exempt", "src/tensor/matrix.cc",
        "float* p = new float[128];\n", {}},
       {"arena-exempt", "src/nn/workspace.cc", "float* p = new float[8];\n",
+       {}},
+      {"single-row-q", "src/core/feat.cc",
+       "net.PredictInto(1, obs.data(), arena, q);\n", {"single-row-q"}},
+      {"single-row-q-batched-ok", "src/core/feat.cc",
+       "net.PredictBatchInto(1, obs.data(), arena, q);\n"
+       "net.PredictInto(rows, obs.data(), arena, q);\n",
+       {}},
+      {"single-row-q-plane-exempt", "src/nn/dueling_net.cc",
+       "trunk_.PredictInto(1, states, arena, features);\n", {}},
+      {"single-row-q-pragma", "tests/foo_test.cc",
+       "// lint: allow(single-row-q): legacy reference for the equivalence "
+       "test\n"
+       "net.PredictInto(1, obs.data(), arena, q);\n",
        {}},
       {"guard-ok", "src/common/rng.h",
        "#ifndef PAFEAT_COMMON_RNG_H_\n#define PAFEAT_COMMON_RNG_H_\n"

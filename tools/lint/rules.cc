@@ -18,6 +18,7 @@ constexpr char kRawThread[] = "raw-thread";
 constexpr char kUnorderedIter[] = "unordered-iter";
 constexpr char kRawAlloc[] = "raw-alloc";
 constexpr char kIncludeGuard[] = "include-guard";
+constexpr char kSingleRowQ[] = "single-row-q";
 constexpr char kLintPragma[] = "lint-pragma";
 
 constexpr char kRandomnessHint[] =
@@ -35,6 +36,12 @@ constexpr char kRawAllocHint[] =
     "use std::vector / std::make_unique, Matrix (src/tensor/), or "
     "InferenceArena scratch (src/nn/workspace.h) so ASan/checked builds see "
     "every buffer";
+constexpr char kSingleRowQHint[] =
+    "route Q queries through the batched inference plane — DqnAgent::ActBatch "
+    "/ QValuesBatchInto or DuelingNet::PredictBatchInto (DESIGN.md \"Batched "
+    "inference plane\"); batched rows are bit-identical to single-row "
+    "queries. Legacy-reference call sites (e.g. equivalence tests) need "
+    "// lint: allow(single-row-q): <why>";
 
 bool Contains(const std::string& haystack, const char* needle) {
   return haystack.find(needle) != std::string::npos;
@@ -58,6 +65,11 @@ bool RawThreadAllowed(const std::string& path) {
 }
 bool RawAllocAllowed(const std::string& path) {
   return Contains(path, "src/tensor/") || Contains(path, "src/nn/workspace.");
+}
+// The plane's own implementation (src/nn/) legitimately contains the
+// single-row delegation.
+bool SingleRowQAllowed(const std::string& path) {
+  return Contains(path, "src/nn/");
 }
 
 struct Ctx {
@@ -276,7 +288,28 @@ void CheckRawAlloc(const Ctx& ctx) {
   }
 }
 
-// --- R5: include guards (the compile-alone half runs in CMake) -------------
+// --- R5: single-row Q queries ----------------------------------------------
+
+// Every Q query outside the plane's implementation must go through the
+// batched entry points; a literal `PredictInto(1, ...)` call re-opens the
+// per-step single-row path the batched plane retired.
+void CheckSingleRowQ(const Ctx& ctx) {
+  if (SingleRowQAllowed(ctx.file->norm_path)) return;
+  const std::vector<Token>& toks = *ctx.toks;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier || t.text != "PredictInto") continue;
+    if (toks[i + 1].text != "(") continue;
+    if (toks[i + 2].text == "1" && toks[i + 3].text == ",") {
+      Report(ctx, t.line, kSingleRowQ,
+             "single-row PredictInto(1, ...) outside the batched inference "
+             "plane",
+             kSingleRowQHint);
+    }
+  }
+}
+
+// --- R6: include guards (the compile-alone half runs in CMake) -------------
 
 std::string ExpectedGuard(const std::string& norm_path) {
   // src/common/rng.h -> PAFEAT_COMMON_RNG_H_ ; other top-level dirs keep
@@ -353,8 +386,8 @@ void CheckIncludeGuard(const Ctx& ctx) {
 
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
-      kRandomness, kRawThread, kUnorderedIter, kRawAlloc, kIncludeGuard,
-      kLintPragma};
+      kRandomness, kRawThread, kUnorderedIter, kRawAlloc, kSingleRowQ,
+      kIncludeGuard, kLintPragma};
   return kRules;
 }
 
@@ -366,6 +399,7 @@ std::vector<Finding> RunRules(const FileInput& file) {
   CheckRawThread(ctx);
   CheckUnorderedIter(ctx);
   CheckRawAlloc(ctx);
+  CheckSingleRowQ(ctx);
   CheckIncludeGuard(ctx);
 
   // Apply pragmas: a pragma suppresses matching findings on its own line,
@@ -393,7 +427,7 @@ std::vector<Finding> RunRules(const FileInput& file) {
           file.display_path, p.line, kLintPragma,
           "pragma names unknown rule '" + p.rule + "'",
           "known rules: randomness, raw-thread, unordered-iter, raw-alloc, "
-          "include-guard"});
+          "single-row-q, include-guard"});
     } else if (p.justification.empty()) {
       kept.push_back(Finding{
           file.display_path, p.line, kLintPragma,
