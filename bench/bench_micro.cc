@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "common/rng.h"
 #include "core/defaults.h"
 #include "core/etree.h"
@@ -15,10 +18,13 @@
 #include "ml/metrics.h"
 #include "ml/subset_evaluator.h"
 #include "nn/dueling_net.h"
+#include "nn/quantized_net.h"
+#include "nn/workspace.h"
 #include "rl/dqn_agent.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "rl/fs_env.h"
+#include "tensor/kernels.h"
 
 namespace pafeat {
 namespace {
@@ -388,6 +394,62 @@ void BM_StepInferenceBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_StepInferenceBatched)->Arg(147)->Arg(2043);
 
+// The quantized serving tier's counterpart of BM_StepInferenceBatched: the
+// same 64-row batch through QuantizedDuelingNet::PredictBatchInto with the
+// greedy argmax consumption the selection scan performs. The acceptance bar
+// (DESIGN.md "Quantized serving tier") is >= 2x BM_StepInferenceBatched at
+// obs_dim 2043 — int8 quarters weight-matrix traffic, which is what bounds
+// the wide serving shapes.
+void BM_StepInferenceQuantized(benchmark::State& state) {
+  const int obs_dim = static_cast<int>(state.range(0));
+  Rng rng(43);
+  DqnConfig config;
+  config.net.input_dim = obs_dim;
+  DuelingNet fp32(config.net, &rng);
+  const QuantizedDuelingNet net(config.net, fp32.SerializeParams());
+  std::vector<float> observations(
+      static_cast<size_t>(kStepInferenceRows) * obs_dim);
+  for (float& v : observations) {
+    v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  std::vector<float> q(static_cast<size_t>(kStepInferenceRows) * kNumActions);
+  std::vector<int> actions(kStepInferenceRows);
+  InferenceArena arena;
+  for (auto _ : state) {
+    net.PredictBatchInto(kStepInferenceRows, observations.data(), &arena,
+                         q.data());
+    for (int r = 0; r < kStepInferenceRows; ++r) {
+      actions[r] = q[static_cast<size_t>(r) * kNumActions + kActionSelect] >
+                           q[static_cast<size_t>(r) * kNumActions +
+                             kActionDeselect]
+                       ? kActionSelect
+                       : kActionDeselect;
+    }
+    benchmark::DoNotOptimize(actions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStepInferenceRows);
+}
+BENCHMARK(BM_StepInferenceQuantized)->Arg(147)->Arg(2043);
+
+// One-shot post-training quantization of a checkpoint-sized parameter
+// vector: the setup cost a serving process pays once before the int8 tier
+// answers queries.
+void BM_QuantizeCheckpoint(benchmark::State& state) {
+  const int obs_dim = static_cast<int>(state.range(0));
+  Rng rng(47);
+  DqnConfig config;
+  config.net.input_dim = obs_dim;
+  DuelingNet fp32(config.net, &rng);
+  const std::vector<float> params = fp32.SerializeParams();
+  for (auto _ : state) {
+    QuantizedDuelingNet net(config.net, params);
+    benchmark::DoNotOptimize(net.feature_dim());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(params.size()));
+}
+BENCHMARK(BM_QuantizeCheckpoint)->Arg(147)->Arg(2043);
+
 // Full Algorithm-1 iterations end to end with the step-synchronous batched
 // collection on vs the legacy blocking path: same work, different execution
 // plan (this also pays environment steps, reward evaluations, and the
@@ -469,4 +531,24 @@ BENCHMARK(BM_MutualInformationRanking)->Arg(16)->Arg(120);
 }  // namespace
 }  // namespace pafeat
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): every run records the active
+// SimdCapability in the benchmark context (the "simd" key in the JSON
+// baselines and the console header), so perf numbers are never compared
+// across ladder levels by accident. `--print-simd` prints the level and
+// exits — run_benches.sh uses it to tag its output.
+int main(int argc, char** argv) {
+  const char* simd = pafeat::kernels::SimdCapabilityName(
+      pafeat::kernels::ActiveSimdCapability());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-simd") == 0) {
+      std::printf("%s\n", simd);
+      return 0;
+    }
+  }
+  benchmark::AddCustomContext("simd", simd);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

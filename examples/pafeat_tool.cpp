@@ -123,13 +123,15 @@ int RunTrain(const Table& table, const std::string& labels_csv,
 }
 
 int RunSelect(const Table& table, const std::string& label,
-              const std::string& agent_path, int seed) {
+              const std::string& agent_path, int seed, bool quantized) {
   const int index = LabelIndexByName(table, label);
   if (index < 0) {
     std::fprintf(stderr, "label '%s' not found in data\n", label.c_str());
     return 1;
   }
-  const auto selector = CheckpointedSelector::FromFile(agent_path);
+  ServeConfig serve;
+  serve.quantized = quantized;
+  const auto selector = CheckpointedSelector::FromFile(agent_path, serve);
   if (!selector.has_value()) {
     std::fprintf(stderr, "cannot load agent from %s\n", agent_path.c_str());
     return 1;
@@ -148,9 +150,10 @@ int RunSelect(const Table& table, const std::string& label,
   const FeatureMask mask = selector->SelectForRepresentation(repr);
   const double exec_ms = timer.ElapsedMillis();
 
-  std::printf("selected %d/%d features in %.2f ms (* = selected; q-gap is\n"
+  std::printf("selected %d/%d features in %.2f ms%s (* = selected; q-gap is\n"
               "the policy's select-vs-deselect advantage, the audit view):\n",
-              MaskCount(mask), table.num_features(), exec_ms);
+              MaskCount(mask), table.num_features(), exec_ms,
+              selector->quantized() ? " [int8 serving tier]" : "");
   if (const auto checkpoint = LoadCheckpoint(agent_path);
       checkpoint.has_value()) {
     Rng net_rng(0);
@@ -210,6 +213,7 @@ int main(int argc, char** argv) {
   int seed = 7;
   int num_threads = 1;
   int arff_labels = 1;
+  bool quantized = false;
   FlagSet flags;
   flags.AddString("data", &data, "CSV or .arff dataset path");
   flags.AddString("labels", &labels, "train: comma-separated seen labels");
@@ -223,6 +227,9 @@ int main(int argc, char** argv) {
                "train: episode threads (results are identical at any value)");
   flags.AddInt("arff_labels", &arff_labels,
                "ARFF: number of trailing label attributes");
+  flags.AddBool("quantized", &quantized,
+                "select: serve from the int8 quantized tier (subset-match "
+                "validated, outside the bitwise contract)");
   if (!flags.Parse(argc - 1, argv + 1)) return 1;
 
   if (command == "demo") return RunDemo(data);
@@ -236,7 +243,9 @@ int main(int argc, char** argv) {
   if (command == "train") {
     return RunTrain(*table, labels, out, iterations, mfr, seed, num_threads);
   }
-  if (command == "select") return RunSelect(*table, label, agent, seed);
+  if (command == "select") {
+    return RunSelect(*table, label, agent, seed, quantized);
+  }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }

@@ -6,6 +6,13 @@
 # bench/baselines/BENCH_gemm_seed.json).
 set -u
 cd "$(dirname "$0")"
+
+# Tag the whole run with the active SIMD capability level (also recorded in
+# every JSON baseline via the benchmark context key "simd") — numbers from
+# different ladder levels are not comparable.
+SIMD_LEVEL="$(build/bench/bench_micro --print-simd)"
+echo "active SIMD capability: ${SIMD_LEVEL}${PAFEAT_SIMD:+ (PAFEAT_SIMD=${PAFEAT_SIMD})}"
+
 for b in build/bench/bench_table1_datasets build/bench/bench_fig5_f1_vs_mfr \
          build/bench/bench_fig6_auc_vs_mfr build/bench/bench_table2_timing \
          build/bench/bench_fig7_single_task build/bench/bench_table3_ablation \
@@ -58,3 +65,27 @@ build/bench/bench_micro \
   --benchmark_out_format=json \
   --benchmark_out=bench/baselines/BENCH_batch.json > /dev/null 2>&1 \
   && echo "wrote bench/baselines/BENCH_batch.json"
+
+echo "===================================================================="
+echo "== SIMD ladder + quantized serving tier -> bench/baselines/BENCH_simd.json"
+echo "===================================================================="
+# The serving-plane kernels at the active capability level (tagged via the
+# "simd" context key) plus the int8 serving tier and its one-shot
+# quantization cost; the freeze of this file's first run is
+# bench/baselines/BENCH_simd_seed.json. Acceptance tracking at obs_dim 2043:
+# BM_StepInferenceBatched vs the frozen BENCH_batch_seed baseline (530.7us;
+# >= 1.3x on AVX-512 hosts — best quiet-machine windows measure ~396-412us,
+# contended windows regress to the memory-bandwidth floor ~590us shared with
+# AVX2) and BM_StepInferenceQuantized (~310-335us) vs fp32 step inference:
+# >= 2x against the frozen single-row path (1354.6us, ~4.4x) and ~1.3-1.7x
+# against the batched plane. Without AVX-512 VNNI the int8 dot products run
+# on the same two FMA ports as fp32, so the quantized tier's structural win
+# over the batched fp32 plane is halved memory traffic, not ALU throughput
+# (DESIGN.md "Quantized serving tier").
+build/bench/bench_micro \
+  --benchmark_filter='BM_StepInference|BM_QuantizeCheckpoint' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out=bench/baselines/BENCH_simd.json > /dev/null 2>&1 \
+  && echo "wrote bench/baselines/BENCH_simd.json (simd=${SIMD_LEVEL})"

@@ -7,7 +7,14 @@
 #   release   Release build + full ctest suite — includes pafeat_lint_test
 #             (tree-wide determinism/concurrency lint), the lint self-test,
 #             and the generated per-header self-containment TUs
-#   asan      scripts/check.sh asan  (ASan + UBSan + checked assertions)
+#   generic   The same release binaries re-tested under PAFEAT_SIMD=generic:
+#             the capability ladder's forced-downgrade contract (fp32 plane
+#             bit-identical at every compiled-in level) exercised with the
+#             portable kernels dispatched process-wide, not just through the
+#             per-level test entry points
+#   asan      scripts/check.sh asan  (ASan + UBSan + checked assertions),
+#             with PAFEAT_SERVE_QUANTIZED=1 so the quantized-serving sweep
+#             widens to its extended seed set under instrumentation
 #   tsan      scripts/check.sh tsan  (ThreadSanitizer)
 #
 # Prints a summary table and exits nonzero if any step failed. Steps keep
@@ -43,8 +50,25 @@ release_step() {
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 }
 
+# Re-runs the release tree's tests with the SIMD ladder clamped to the
+# portable kernels. No rebuild: the clamp is a process-wide env override, so
+# this leg proves the shipped binary — not a special build — passes with
+# generic dispatch (downgrade tests inside the suite still compare levels
+# pairwise; this leg catches anything that only goes through Impl()).
+forced_generic_step() {
+  PAFEAT_SIMD=generic ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+# ASan leg with the quantized serving gate's extended sweep enabled:
+# PAFEAT_SERVE_QUANTIZED=1 widens QuantizedServingSweepTest to its full seed
+# set, so the int8 tier's buffers get their widest exercise under ASan.
+asan_step() {
+  PAFEAT_SERVE_QUANTIZED=1 scripts/check.sh asan
+}
+
 run_step "release+lint+werror" release_step
-run_step "asan+ubsan+checked" scripts/check.sh asan
+run_step "release simd=generic" forced_generic_step
+run_step "asan+ubsan+checked" asan_step
 run_step "tsan" scripts/check.sh tsan
 
 echo

@@ -10,7 +10,10 @@ namespace pafeat {
 namespace {
 
 constexpr uint32_t kMagic = 0x50414643;  // "PAFC"
-constexpr uint32_t kVersion = 1;
+// Version 2 added the weight-format byte after the net-config block.
+// Version 1 files (implicitly fp32) remain loadable; anything newer than
+// kVersion is rejected — an old binary must never misparse a future layout.
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
 void WriteScalar(std::ostream& out, T value) {
@@ -48,6 +51,7 @@ bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
   for (int h : checkpoint.net_config.trunk_hidden) {
     WriteScalar(out, static_cast<int32_t>(h));
   }
+  WriteScalar(out, checkpoint.weight_format);
   WriteScalar(out, checkpoint.max_feature_ratio);
   WriteScalar(out, static_cast<uint64_t>(checkpoint.parameters.size()));
   out.write(reinterpret_cast<const char*>(checkpoint.parameters.data()),
@@ -62,7 +66,9 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
   uint32_t magic = 0;
   uint32_t version = 0;
   if (!ReadScalar(in, &magic) || magic != kMagic) return std::nullopt;
-  if (!ReadScalar(in, &version) || version != kVersion) return std::nullopt;
+  if (!ReadScalar(in, &version) || version < 1 || version > kVersion) {
+    return std::nullopt;
+  }
 
   AgentCheckpoint checkpoint;
   int32_t input_dim = 0;
@@ -83,6 +89,16 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
     int32_t h = 0;
     if (!ReadScalar(in, &h) || h <= 0) return std::nullopt;
     checkpoint.net_config.trunk_hidden.push_back(h);
+  }
+  if (version >= 2) {
+    // A format byte this binary does not know means a payload it cannot
+    // parse — reject rather than misread (version 1 had no byte: fp32).
+    if (!ReadScalar(in, &checkpoint.weight_format) ||
+        checkpoint.weight_format != kWeightFormatFp32) {
+      return std::nullopt;
+    }
+  } else {
+    checkpoint.weight_format = kWeightFormatFp32;
   }
   if (!ReadScalar(in, &checkpoint.max_feature_ratio) ||
       checkpoint.max_feature_ratio <= 0.0 ||
@@ -106,25 +122,49 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
   return checkpoint;
 }
 
-CheckpointedSelector::CheckpointedSelector(const AgentCheckpoint& checkpoint)
+QuantizedDuelingNet QuantizeCheckpoint(const AgentCheckpoint& checkpoint) {
+  PF_CHECK_EQ(checkpoint.weight_format, kWeightFormatFp32)
+      << "QuantizeCheckpoint wants fp32 source weights";
+  return QuantizedDuelingNet(checkpoint.net_config, checkpoint.parameters);
+}
+
+CheckpointedSelector::CheckpointedSelector(const AgentCheckpoint& checkpoint,
+                                           const ServeConfig& serve)
     : max_feature_ratio_(checkpoint.max_feature_ratio) {
   Rng rng(0);
   net_ = std::make_unique<DuelingNet>(checkpoint.net_config, &rng);
   PF_CHECK(net_->DeserializeParams(checkpoint.parameters))
       << "checkpoint parameter count does not match the architecture";
   PF_CHECK_EQ((net_->config().input_dim - 3) % 2, 0);
+  if (serve.quantized) {
+    quantized_net_ =
+        std::make_unique<QuantizedDuelingNet>(QuantizeCheckpoint(checkpoint));
+  }
 }
 
 std::optional<CheckpointedSelector> CheckpointedSelector::FromFile(
-    const std::string& path) {
+    const std::string& path, const ServeConfig& serve) {
   const std::optional<AgentCheckpoint> checkpoint = LoadCheckpoint(path);
   if (!checkpoint.has_value()) return std::nullopt;
-  return CheckpointedSelector(*checkpoint);
+  return CheckpointedSelector(*checkpoint, serve);
 }
 
 FeatureMask CheckpointedSelector::SelectForRepresentation(
     const std::vector<float>& representation) const {
+  if (quantized_net_ != nullptr) {
+    return GreedySelectSubset(*quantized_net_, representation,
+                              max_feature_ratio_);
+  }
   return GreedySelectSubset(*net_, representation, max_feature_ratio_);
+}
+
+std::vector<FeatureMask> CheckpointedSelector::SelectForRepresentations(
+    const std::vector<std::vector<float>>& representations) const {
+  if (quantized_net_ != nullptr) {
+    return GreedySelectSubsets(*quantized_net_, representations,
+                               max_feature_ratio_);
+  }
+  return GreedySelectSubsets(*net_, representations, max_feature_ratio_);
 }
 
 }  // namespace pafeat

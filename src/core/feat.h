@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/greedy_policy.h"
 #include "core/problem.h"
 #include "rl/dqn_agent.h"
 #include "rl/fs_env.h"
@@ -171,9 +172,14 @@ class Feat {
   // Greedy episodes for several representations at once: the per-position Q
   // queries of all tasks are coalesced into one batched forward pass
   // (lock-step scan). Result i is bit-identical to
-  // SelectForRepresentation(reprs[i]) — the multi-task serving path.
+  // SelectForRepresentation(reprs[i]) — the multi-task serving path. With
+  // ServeConfig::quantized the scan runs on an int8 quantization of the
+  // current online network, built per call (CheckpointedSelector is the
+  // quantize-once serving path); masks then match the fp32 tier by the
+  // subset-match suite rather than bitwise.
   std::vector<FeatureMask> SelectForRepresentations(
-      const std::vector<std::vector<float>>& reprs) const;
+      const std::vector<std::vector<float>>& reprs,
+      const ServeConfig& serve = {}) const;
 
   // Adds a task (typically unseen, now labeled) to the training set for the
   // further-training mode of §IV-D. Returns its runtime slot.

@@ -7,16 +7,14 @@
 #include "rl/fs_env.h"
 
 namespace pafeat {
+namespace {
 
-FeatureMask GreedySelectSubset(const DuelingNet& net,
-                               const std::vector<float>& representation,
-                               double max_feature_ratio) {
-  return GreedySelectSubsets(net, {representation}, max_feature_ratio)[0];
-}
-
-std::vector<FeatureMask> GreedySelectSubsets(
-    const DuelingNet& net,
-    const std::vector<std::vector<float>>& representations,
+// The lock-step scan, shared by the fp32 and quantized tiers. `Net` only
+// needs config() (input_dim, num_actions == kNumActions) and a
+// PredictBatchInto with DuelingNet's signature.
+template <typename Net>
+std::vector<FeatureMask> GreedyScan(
+    const Net& net, const std::vector<std::vector<float>>& representations,
     double max_feature_ratio) {
   const int num_tasks = static_cast<int>(representations.size());
   if (num_tasks == 0) return {};
@@ -87,6 +85,34 @@ std::vector<FeatureMask> GreedySelectSubsets(
     masks[t][best] = 1;
   }
   return masks;
+}
+
+}  // namespace
+
+FeatureMask GreedySelectSubset(const DuelingNet& net,
+                               const std::vector<float>& representation,
+                               double max_feature_ratio) {
+  return GreedySelectSubsets(net, {representation}, max_feature_ratio)[0];
+}
+
+std::vector<FeatureMask> GreedySelectSubsets(
+    const DuelingNet& net,
+    const std::vector<std::vector<float>>& representations,
+    double max_feature_ratio) {
+  return GreedyScan(net, representations, max_feature_ratio);
+}
+
+FeatureMask GreedySelectSubset(const QuantizedDuelingNet& net,
+                               const std::vector<float>& representation,
+                               double max_feature_ratio) {
+  return GreedySelectSubsets(net, {representation}, max_feature_ratio)[0];
+}
+
+std::vector<FeatureMask> GreedySelectSubsets(
+    const QuantizedDuelingNet& net,
+    const std::vector<std::vector<float>>& representations,
+    double max_feature_ratio) {
+  return GreedyScan(net, representations, max_feature_ratio);
 }
 
 }  // namespace pafeat

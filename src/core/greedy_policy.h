@@ -5,8 +5,21 @@
 
 #include "data/feature_mask.h"
 #include "nn/dueling_net.h"
+#include "nn/quantized_net.h"
 
 namespace pafeat {
+
+// Serving-tier options for the greedy/zero-shot execution path (DESIGN.md
+// "Quantized serving tier"). Plumbed through Feat::SelectForRepresentations
+// / PaFeat::SelectFeaturesForTasks / CheckpointedSelector; the default is
+// the bitwise fp32 plane.
+struct ServeConfig {
+  // Route Q queries through the int8 QuantizedDuelingNet. Outside the
+  // bitwise determinism contract: selections are validated by subset-match
+  // against the fp32 plane on the eval suite, not by bit equality of
+  // Q-values (tests/quantized_serving_test.cc).
+  bool quantized = false;
+};
 
 // The unseen-task execution path shared by the live trainer and restored
 // checkpoints (Algorithm 1 lines 22-24): one greedy scan of the Q-network
@@ -33,6 +46,19 @@ FeatureMask GreedySelectSubset(const DuelingNet& net,
 // observation layout).
 std::vector<FeatureMask> GreedySelectSubsets(
     const DuelingNet& net,
+    const std::vector<std::vector<float>>& representations,
+    double max_feature_ratio);
+
+// Quantized-tier twins: the identical lock-step scan (same observation
+// layout, retirement rule and fallback) with Q queries answered by the int8
+// net. The scan logic is shared with the fp32 overloads at compile time, so
+// the two tiers cannot drift; only the Q-values differ (by quantization
+// error), which is what the subset-match suite bounds.
+FeatureMask GreedySelectSubset(const QuantizedDuelingNet& net,
+                               const std::vector<float>& representation,
+                               double max_feature_ratio);
+std::vector<FeatureMask> GreedySelectSubsets(
+    const QuantizedDuelingNet& net,
     const std::vector<std::vector<float>>& representations,
     double max_feature_ratio);
 

@@ -31,14 +31,15 @@ FeatureMask PaFeat::SelectFeatures(int unseen_label_index,
 
 std::vector<FeatureMask> PaFeat::SelectFeaturesForTasks(
     const std::vector<int>& unseen_label_indices,
-    double* execution_seconds) {
+    double* execution_seconds, const ServeConfig& serve) {
   WallTimer timer;
   std::vector<std::vector<float>> reprs;
   reprs.reserve(unseen_label_indices.size());
   for (int label_index : unseen_label_indices) {
     reprs.push_back(feat_->problem().ComputeTaskRepresentation(label_index));
   }
-  std::vector<FeatureMask> masks = feat_->SelectForRepresentations(reprs);
+  std::vector<FeatureMask> masks =
+      feat_->SelectForRepresentations(reprs, serve);
   if (execution_seconds != nullptr) {
     *execution_seconds = timer.ElapsedSeconds();
   }

@@ -1,0 +1,153 @@
+#include "nn/quantized_net.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.h"
+#include "tensor/kernels.h"
+
+namespace pafeat {
+namespace {
+
+// Carves int8 / int32 scratch out of the float arena (4 bytes per float,
+// same alignment class; the kernels use unaligned loads regardless).
+std::int8_t* AllocInt8(InferenceArena* arena, std::size_t count) {
+  return reinterpret_cast<std::int8_t*>(arena->Alloc((count + 3) / 4));
+}
+
+std::int32_t* AllocInt32(InferenceArena* arena, std::size_t count) {
+  return reinterpret_cast<std::int32_t*>(arena->Alloc(count));
+}
+
+}  // namespace
+
+float QuantizeRowSymmetric(const float* x, int n, std::int8_t* q) {
+  float scale = 1.0f;
+  kernels::QuantizeRowsInt8(/*rows=*/1, n, x, n, q, n, &scale);
+  return scale;
+}
+
+QuantizedDuelingNet::QuantizedDuelingNet(const DuelingNetConfig& config,
+                                         const std::vector<float>& parameters)
+    : config_(config) {
+  PF_CHECK_GT(config.input_dim, 0);
+  PF_CHECK_GT(config.num_actions, 1);
+  PF_CHECK(!config.trunk_hidden.empty());
+  // The layer walk mirrors DuelingNet's construction (dueling_net.cc
+  // TrunkConfig/HeadConfig): trunk dims with the optional extra rescale
+  // layer duplicating the last width, every trunk layer ReLU, linear heads.
+  std::vector<int> dims;
+  dims.push_back(config.input_dim);
+  for (int h : config.trunk_hidden) {
+    PF_CHECK_GT(h, 0);
+    dims.push_back(h);
+  }
+  if (config.extra_rescale_layer) dims.push_back(dims.back());
+
+  std::size_t offset = 0;
+  const auto take_layer = [&parameters, &offset](int in, int out, bool relu) {
+    PF_CHECK_LE(in, kernels::kGemmInt8MaxDepth);
+    QuantizedLayer layer;
+    layer.in = in;
+    layer.out = out;
+    layer.relu = relu;
+    layer.weight.resize(static_cast<std::size_t>(out) * in);
+    layer.row_scale.resize(out);
+    const std::size_t weight_count = layer.weight.size();
+    PF_CHECK_LE(offset + weight_count + out, parameters.size())
+        << "quantize: parameter vector too short for the architecture";
+    for (int o = 0; o < out; ++o) {
+      layer.row_scale[o] = QuantizeRowSymmetric(
+          parameters.data() + offset + static_cast<std::size_t>(o) * in, in,
+          layer.weight.data() + static_cast<std::size_t>(o) * in);
+    }
+    offset += weight_count;
+    layer.bias.assign(parameters.begin() + offset,
+                      parameters.begin() + offset + out);
+    offset += out;
+    return layer;
+  };
+
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    trunk_.push_back(take_layer(dims[i], dims[i + 1], /*relu=*/true));
+  }
+  const int feature = dims.back();
+  value_head_ = take_layer(feature, 1, /*relu=*/false);
+  advantage_head_ = take_layer(feature, config.num_actions, /*relu=*/false);
+  PF_CHECK_EQ(offset, parameters.size())
+      << "quantize: parameter vector does not fit the architecture";
+}
+
+void QuantizedDuelingNet::RunLayer(const QuantizedLayer& layer, int rows,
+                                   const std::int8_t* x_q,
+                                   const float* x_scale, std::int32_t* acc,
+                                   float* out) const {
+  const std::size_t count = static_cast<std::size_t>(rows) * layer.out;
+  std::fill_n(acc, count, 0);
+  kernels::GemmInt8NT(rows, layer.out, layer.in, x_q, layer.in,
+                      layer.weight.data(), layer.in, acc, layer.out);
+  for (int r = 0; r < rows; ++r) {
+    const float sx = x_scale[r];
+    const std::int32_t* acc_row = acc + static_cast<std::size_t>(r) * layer.out;
+    float* out_row = out + static_cast<std::size_t>(r) * layer.out;
+    for (int o = 0; o < layer.out; ++o) {
+      float v = static_cast<float>(acc_row[o]) * (sx * layer.row_scale[o]) +
+                layer.bias[o];
+      if (layer.relu && v < 0.0f) v = 0.0f;
+      out_row[o] = v;
+    }
+  }
+}
+
+void QuantizedDuelingNet::PredictBatchInto(int rows, const float* states,
+                                           InferenceArena* arena,
+                                           float* q_out) const {
+  PF_CHECK_GT(rows, 0);
+  ArenaScope scope(arena);
+  int max_in = config_.input_dim;
+  int max_out = config_.num_actions;
+  for (const QuantizedLayer& layer : trunk_) {
+    max_in = std::max(max_in, layer.in);
+    max_out = std::max(max_out, layer.out);
+  }
+  std::int8_t* x_q =
+      AllocInt8(arena, static_cast<std::size_t>(rows) * max_in);
+  float* x_scale = arena->Alloc(rows);
+  std::int32_t* acc =
+      AllocInt32(arena, static_cast<std::size_t>(rows) * max_out);
+  float* features =
+      arena->Alloc(static_cast<std::size_t>(rows) * max_out);
+  float* value = arena->Alloc(rows);
+
+  // Trunk: quantize the incoming activations row by row, then overwrite the
+  // feature buffer with the layer's requantized output (safe in place — the
+  // int8 copy is complete before the product starts).
+  const float* current = states;
+  for (const QuantizedLayer& layer : trunk_) {
+    kernels::QuantizeRowsInt8(rows, layer.in, current, layer.in, x_q,
+                              layer.in, x_scale);
+    RunLayer(layer, rows, x_q, x_scale, acc, features);
+    current = features;
+  }
+
+  // Both heads read the same trunk features: quantize them once.
+  const int feature = feature_dim();
+  kernels::QuantizeRowsInt8(rows, feature, current, feature, x_q, feature,
+                            x_scale);
+  RunLayer(value_head_, rows, x_q, x_scale, acc, value);
+  RunLayer(advantage_head_, rows, x_q, x_scale, acc, q_out);
+
+  // Dueling aggregation: the exact loop (and rounding order) of
+  // DuelingNet::PredictImpl, reading only within each row.
+  const int num_actions = config_.num_actions;
+  for (int r = 0; r < rows; ++r) {
+    float* q_row = q_out + static_cast<std::size_t>(r) * num_actions;
+    float mean_adv = 0.0f;
+    for (int a = 0; a < num_actions; ++a) mean_adv += q_row[a];
+    mean_adv /= num_actions;
+    const float v = value[r];
+    for (int a = 0; a < num_actions; ++a) q_row[a] += v - mean_adv;
+  }
+}
+
+}  // namespace pafeat

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -11,7 +13,8 @@
 namespace pafeat {
 namespace kernels {
 
-// Single-threaded cores instantiated from kernels_impl.inl.
+// Single-threaded cores instantiated from kernels_impl.inl (plus the
+// serving-tier cores defined directly in the per-capability TUs).
 namespace generic {
 void GemmNN(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
@@ -21,6 +24,10 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
                   int ncols, const float* b, int ldb, float* c, int ldc);
+void GemmInt8NT(int m, int n, int p, const std::int8_t* a, int lda,
+                const std::int8_t* b, int ldb, std::int32_t* c, int ldc);
+void QuantizeRowsInt8(int rows, int n, const float* x, int ldx,
+                      std::int8_t* q, int ldq, float* scales);
 }  // namespace generic
 
 #ifdef PAFEAT_HAVE_AVX2_TU
@@ -33,11 +40,32 @@ void GemmNT(int m, int n, int p, const float* a, int lda, const float* b,
             int ldb, float* c, int ldc);
 void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
                   int ncols, const float* b, int ldb, float* c, int ldc);
-// Intrinsics-based row-wise NT core (defined in kernels_avx2.cc, not the
+// Intrinsics-based serving cores (defined in kernels_avx2.cc, not the
 // .inl): per-row bits independent of the batch size, see GemmNTRowwise.
 void GemmNTRowwise(int m, int n, int p, const float* a, int lda,
                    const float* b, int ldb, float* c, int ldc);
+void GemmInt8NT(int m, int n, int p, const std::int8_t* a, int lda,
+                const std::int8_t* b, int ldb, std::int32_t* c, int ldc);
+void QuantizeRowsInt8(int rows, int n, const float* x, int ldx,
+                      std::int8_t* q, int ldq, float* scales);
 }  // namespace avx2
+#endif
+
+#ifdef PAFEAT_HAVE_AVX512_TU
+// The AVX-512 level only widens the serving-plane cores (row-wise NT,
+// first-layer gather, int8). The blocked training kernels stay on the AVX2
+// instantiation: their cache-blocked shapes gain little from 512-bit lanes,
+// and reusing them keeps training bits identical between the two levels.
+namespace avx512 {
+void GemmNTRowwise(int m, int n, int p, const float* a, int lda,
+                   const float* b, int ldb, float* c, int ldc);
+void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
+                  int ncols, const float* b, int ldb, float* c, int ldc);
+void GemmInt8NT(int m, int n, int p, const std::int8_t* a, int lda,
+                const std::int8_t* b, int ldb, std::int32_t* c, int ldc);
+void QuantizeRowsInt8(int rows, int n, const float* x, int ldx,
+                      std::int8_t* q, int ldq, float* scales);
+}  // namespace avx512
 #endif
 
 namespace {
@@ -46,6 +74,10 @@ using GemmFn = void (*)(int, int, int, const float*, int, const float*, int,
                         float*, int);
 using GatherFn = void (*)(int, int, const float*, int, const int*, int,
                           const float*, int, float*, int);
+using Int8Fn = void (*)(int, int, int, const std::int8_t*, int,
+                        const std::int8_t*, int, std::int32_t*, int);
+using QuantFn = void (*)(int, int, const float*, int, std::int8_t*, int,
+                         float*);
 
 struct Dispatch {
   GemmFn nn;
@@ -54,24 +86,82 @@ struct Dispatch {
   // Row-wise NT core whose per-row bits are independent of m (the batched
   // inference plane's contract). The generic instantiation's NT dot core
   // already has that property (plain 1x1 tile, no cross-row state); the
-  // AVX2 TU supplies a dedicated 4-row-interleaved intrinsics core because
-  // its .inl NT core's bits are m-independent too but slow, and a portable
-  // interleave would let the compiler contract rows differently.
+  // AVX2/AVX-512 TUs supply dedicated interleaved intrinsics cores because
+  // a portable interleave would let the compiler contract rows differently.
   GemmFn nt_rowwise;
   GatherFn gather;
-  bool avx2 = false;
+  // Quantized serving tier cores: exact integer accumulation (int8_nt) and
+  // fully-determined per-element rounding (quantize_rows), so the level
+  // choice can never change their results.
+  Int8Fn int8_nt;
+  QuantFn quantize_rows;
+  SimdCapability capability = SimdCapability::kGeneric;
 };
+
+// Highest level both compiled in and supported by this CPU. kNeon is a
+// reserved rung: no aarch64 TU exists yet, so it never probes true.
+SimdCapability ProbeBestCapability() {
+#ifdef PAFEAT_HAVE_AVX2_TU
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+#ifdef PAFEAT_HAVE_AVX512_TU
+    // F for 512-bit float math, BW for the int8->int16 widening converts,
+    // DQ for the 256-bit half inserts the row-pair packing uses.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return SimdCapability::kAvx512;
+    }
+#endif
+    return SimdCapability::kAvx2;
+  }
+#endif
+  return SimdCapability::kGeneric;
+}
+
+Dispatch MakeDispatch(SimdCapability level) {
+  Dispatch dispatch{generic::GemmNN,       generic::GemmTN,
+                    generic::GemmNT,       generic::GemmNT,
+                    generic::GemmGatherNN, generic::GemmInt8NT,
+                    generic::QuantizeRowsInt8,
+                    SimdCapability::kGeneric};
+#ifdef PAFEAT_HAVE_AVX2_TU
+  if (level >= SimdCapability::kAvx2) {
+    dispatch = Dispatch{avx2::GemmNN,       avx2::GemmTN,
+                        avx2::GemmNT,       avx2::GemmNTRowwise,
+                        avx2::GemmGatherNN, avx2::GemmInt8NT,
+                        avx2::QuantizeRowsInt8,
+                        SimdCapability::kAvx2};
+  }
+#endif
+#ifdef PAFEAT_HAVE_AVX512_TU
+  if (level >= SimdCapability::kAvx512) {
+    dispatch.nt_rowwise = avx512::GemmNTRowwise;
+    dispatch.gather = avx512::GemmGatherNN;
+    dispatch.int8_nt = avx512::GemmInt8NT;
+    dispatch.quantize_rows = avx512::QuantizeRowsInt8;
+    dispatch.capability = SimdCapability::kAvx512;
+  }
+#endif
+  return dispatch;
+}
 
 const Dispatch& Impl() {
   static const Dispatch dispatch = []() {
-#ifdef PAFEAT_HAVE_AVX2_TU
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return Dispatch{avx2::GemmNN, avx2::GemmTN, avx2::GemmNT,
-                      avx2::GemmNTRowwise, avx2::GemmGatherNN, true};
+    SimdCapability level = ProbeBestCapability();
+    // PAFEAT_SIMD clamps the probed level down (never up): the forced-
+    // downgrade test matrix runs one binary at every level the host has.
+    if (const char* forced = std::getenv("PAFEAT_SIMD")) {
+      SimdCapability requested;
+      if (!ParseSimdCapability(forced, &requested)) {
+        PF_LOG(Warning) << "PAFEAT_SIMD=" << forced
+                        << " is not a capability name ("
+                        << "generic|avx2|avx512); keeping "
+                        << SimdCapabilityName(level);
+      } else if (requested < level) {
+        level = requested;
+      }
     }
-#endif
-    return Dispatch{generic::GemmNN, generic::GemmTN, generic::GemmNT,
-                    generic::GemmNT, generic::GemmGatherNN, false};
+    return MakeDispatch(level);
   }();
   return dispatch;
 }
@@ -91,6 +181,12 @@ constexpr long long kMinFlopsPerPanel = 2'000'000;
 bool DisjointFromC(const float* c, long long c_rows, int ldc, const float* x,
                    long long x_rows, int ldx) {
   const std::less_equal<const float*> le;  // total order even across objects
+  return le(c + c_rows * ldc, x) || le(x + x_rows * ldx, c);
+}
+
+bool DisjointFromCInt8(const std::int32_t* c, long long c_rows, int ldc,
+                       const std::int8_t* x, long long x_rows, int ldx) {
+  const std::less_equal<const void*> le;
   return le(c + c_rows * ldc, x) || le(x + x_rows * ldx, c);
 }
 
@@ -258,7 +354,173 @@ void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
   });
 }
 
-bool UsingAvx2() { return Impl().avx2; }
+void GemmInt8NT(int m, int n, int p, const std::int8_t* a, int lda,
+                const std::int8_t* b, int ldb, std::int32_t* c, int ldc) {
+  if (m <= 0 || n <= 0 || p <= 0) return;
+  PF_DCHECK_GE(lda, p);
+  PF_DCHECK_GE(ldb, p);  // B is n x p, transposed logically
+  PF_DCHECK_GE(ldc, n);
+  PF_DCHECK_LE(p, kGemmInt8MaxDepth);
+  PF_DCHECK(DisjointFromCInt8(c, m, ldc, a, m, lda))
+      << "GemmInt8NT: C aliases A";
+  PF_DCHECK(DisjointFromCInt8(c, m, ldc, b, n, ldb))
+      << "GemmInt8NT: C aliases B";
+  // No pool split: the quantized tier serves latency-bound greedy scans
+  // whose batches sit far below the fp32 split threshold once int8's ~4x
+  // higher arithmetic density is priced in. A split would be trivially safe
+  // (integer accumulation is order-exact) if profiling ever wants one.
+  Impl().int8_nt(m, n, p, a, lda, b, ldb, c, ldc);
+}
+
+void QuantizeRowsInt8(int rows, int n, const float* x, int ldx,
+                      std::int8_t* q, int ldq, float* scales) {
+  if (rows <= 0 || n <= 0) return;
+  PF_DCHECK_GE(ldx, n);
+  PF_DCHECK_GE(ldq, n);
+  // No pool split for the same reason as GemmInt8NT: serving batches sit
+  // far below the fp32 split threshold, and a split would be trivially safe
+  // (per-element results are fully determined) if profiling ever wants one.
+  Impl().quantize_rows(rows, n, x, ldx, q, ldq, scales);
+}
+
+SimdCapability ActiveSimdCapability() { return Impl().capability; }
+
+bool SimdCapabilityAvailable(SimdCapability level) {
+  switch (level) {
+    case SimdCapability::kGeneric:
+      return true;
+    case SimdCapability::kNeon:
+      return false;  // reserved rung, no TU yet
+    case SimdCapability::kAvx2:
+      return ProbeBestCapability() >= SimdCapability::kAvx2;
+    case SimdCapability::kAvx512:
+      return ProbeBestCapability() >= SimdCapability::kAvx512;
+  }
+  return false;
+}
+
+const char* SimdCapabilityName(SimdCapability level) {
+  switch (level) {
+    case SimdCapability::kGeneric:
+      return "generic";
+    case SimdCapability::kNeon:
+      return "neon";
+    case SimdCapability::kAvx2:
+      return "avx2";
+    case SimdCapability::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdCapability(const char* name, SimdCapability* level) {
+  if (name == nullptr || level == nullptr) return false;
+  for (SimdCapability candidate :
+       {SimdCapability::kGeneric, SimdCapability::kNeon,
+        SimdCapability::kAvx2, SimdCapability::kAvx512}) {
+    if (std::strcmp(name, SimdCapabilityName(candidate)) == 0) {
+      *level = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UsingAvx2() {
+  return Impl().capability >= SimdCapability::kAvx2;
+}
+
+bool GemmNTRowwiseAt(SimdCapability level, int m, int n, int p,
+                     const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc) {
+  if (!SimdCapabilityAvailable(level)) return false;
+  switch (level) {
+    case SimdCapability::kGeneric:
+      // The generic dispatch routes row-wise calls to the .inl NT dot core.
+      generic::GemmNT(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#ifdef PAFEAT_HAVE_AVX2_TU
+    case SimdCapability::kAvx2:
+      avx2::GemmNTRowwise(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#endif
+#ifdef PAFEAT_HAVE_AVX512_TU
+    case SimdCapability::kAvx512:
+      avx512::GemmNTRowwise(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool GemmGatherNNAt(SimdCapability level, int m, int n, const float* a,
+                    int lda, const int* cols, int ncols, const float* b,
+                    int ldb, float* c, int ldc) {
+  if (!SimdCapabilityAvailable(level)) return false;
+  switch (level) {
+    case SimdCapability::kGeneric:
+      generic::GemmGatherNN(m, n, a, lda, cols, ncols, b, ldb, c, ldc);
+      return true;
+#ifdef PAFEAT_HAVE_AVX2_TU
+    case SimdCapability::kAvx2:
+      avx2::GemmGatherNN(m, n, a, lda, cols, ncols, b, ldb, c, ldc);
+      return true;
+#endif
+#ifdef PAFEAT_HAVE_AVX512_TU
+    case SimdCapability::kAvx512:
+      avx512::GemmGatherNN(m, n, a, lda, cols, ncols, b, ldb, c, ldc);
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool GemmInt8NTAt(SimdCapability level, int m, int n, int p,
+                  const std::int8_t* a, int lda, const std::int8_t* b,
+                  int ldb, std::int32_t* c, int ldc) {
+  if (!SimdCapabilityAvailable(level)) return false;
+  switch (level) {
+    case SimdCapability::kGeneric:
+      generic::GemmInt8NT(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#ifdef PAFEAT_HAVE_AVX2_TU
+    case SimdCapability::kAvx2:
+      avx2::GemmInt8NT(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#endif
+#ifdef PAFEAT_HAVE_AVX512_TU
+    case SimdCapability::kAvx512:
+      avx512::GemmInt8NT(m, n, p, a, lda, b, ldb, c, ldc);
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool QuantizeRowsInt8At(SimdCapability level, int rows, int n, const float* x,
+                        int ldx, std::int8_t* q, int ldq, float* scales) {
+  if (!SimdCapabilityAvailable(level)) return false;
+  switch (level) {
+    case SimdCapability::kGeneric:
+      generic::QuantizeRowsInt8(rows, n, x, ldx, q, ldq, scales);
+      return true;
+#ifdef PAFEAT_HAVE_AVX2_TU
+    case SimdCapability::kAvx2:
+      avx2::QuantizeRowsInt8(rows, n, x, ldx, q, ldq, scales);
+      return true;
+#endif
+#ifdef PAFEAT_HAVE_AVX512_TU
+    case SimdCapability::kAvx512:
+      avx512::QuantizeRowsInt8(rows, n, x, ldx, q, ldq, scales);
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
 
 }  // namespace kernels
 }  // namespace pafeat

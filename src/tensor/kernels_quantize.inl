@@ -1,0 +1,70 @@
+// Row-quantization core for the int8 serving tier, included by every
+// per-capability kernel TU with PAFEAT_QUANT_NAMESPACE set so the identical
+// source compiles once per codegen flag set. Unlike the float GEMM cores
+// there is no operation-sequence discipline to preserve here: each output
+// code and each scale is fully determined element-wise by the rule below
+// (no accumulation, no contraction opportunity — the clamp sits between the
+// multiply and the rounding add), so every instantiation produces identical
+// bytes and the level choice is throughput-only. That is why plain
+// auto-vectorizable code suffices where the fp32 serving cores need
+// intrinsics: the compiler cannot change these bits no matter how it
+// vectorizes.
+//
+// The rule (DESIGN.md "Quantized serving tier"), per row r:
+//   scale[r] = maxabs / 127          (1.0 for an all-zero row)
+//   q[k]     = round(clamp(x[k] * (127 / maxabs), -127, 127))
+// with round-to-nearest-ties-even spelled as (v + 1.5*2^23) - 1.5*2^23 —
+// bit-identical to nearbyintf under the default rounding mode, but inline
+// float arithmetic (nearbyintf is an un-inlined libm call on baseline
+// x86-64 and dominated the serving profile before this core existed).
+//
+// Like kernels_impl.inl this file contains no includes and no pragmas: it
+// must stay valid under every instantiation's flag set. The including TU
+// provides <cstddef>, <cstdint> and <cstring>.
+
+#ifndef PAFEAT_QUANT_NAMESPACE
+#error "kernels_quantize.inl requires PAFEAT_QUANT_NAMESPACE"
+#endif
+
+namespace pafeat {
+namespace kernels {
+namespace PAFEAT_QUANT_NAMESPACE {
+
+void QuantizeRowsInt8(int rows, int n, const float* x, int ldx,
+                      std::int8_t* q, int ldq, float* scales) {
+  for (int r = 0; r < rows; ++r) {
+    const float* __restrict xr = x + static_cast<std::size_t>(r) * ldx;
+    std::int8_t* __restrict qr = q + static_cast<std::size_t>(r) * ldq;
+    // Max |x[k]| as an unsigned-integer max over the absolute-value bit
+    // patterns: for finite floats the two orders agree, and unlike a float
+    // max reduction (whose NaN semantics pin the evaluation order) an
+    // integer max is associative, so it vectorizes at every level.
+    std::uint32_t max_bits = 0;
+    for (int k = 0; k < n; ++k) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &xr[k], sizeof(bits));
+      bits &= 0x7fffffffu;
+      max_bits = max_bits < bits ? bits : max_bits;
+    }
+    float maxabs;
+    std::memcpy(&maxabs, &max_bits, sizeof(maxabs));
+    if (maxabs == 0.0f) {
+      for (int k = 0; k < n; ++k) qr[k] = 0;
+      scales[r] = 1.0f;
+      continue;
+    }
+    const float inv = 127.0f / maxabs;
+    const float round_magic = 12582912.0f;  // 1.5 * 2^23
+    for (int k = 0; k < n; ++k) {
+      float v = xr[k] * inv;
+      v = v < -127.0f ? -127.0f : v;
+      v = v > 127.0f ? 127.0f : v;
+      qr[k] = static_cast<std::int8_t>((v + round_magic) - round_magic);
+    }
+    scales[r] = maxabs / 127.0f;
+  }
+}
+
+}  // namespace PAFEAT_QUANT_NAMESPACE
+}  // namespace kernels
+}  // namespace pafeat

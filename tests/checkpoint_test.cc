@@ -95,6 +95,63 @@ TEST_F(CheckpointTest, LoadRejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Byte offset of the version-2 weight-format byte: magic(4) version(4)
+// input_dim(4) num_actions(4) extra_rescale(1) num_hidden(4) + hidden dims.
+size_t WeightFormatOffset(const AgentCheckpoint& checkpoint) {
+  return 4 + 4 + 4 + 4 + 1 + 4 + 4 * checkpoint.net_config.trunk_hidden.size();
+}
+
+TEST_F(CheckpointTest, LoadAcceptsVersion1File) {
+  // A version-1 file is today's layout minus the weight-format byte. Splice
+  // one out of a fresh save so the pre-ladder format keeps loading forever.
+  const AgentCheckpoint checkpoint = MakeCheckpoint(*feat_);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path));
+  std::string bytes = ReadAll(path);
+  bytes.erase(WeightFormatOffset(checkpoint), 1);
+  bytes[4] = 1;  // version field (little-endian uint32)
+  WriteAll(path, bytes);
+
+  const auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->weight_format, kWeightFormatFp32);
+  EXPECT_EQ(loaded->parameters, checkpoint.parameters);
+  EXPECT_DOUBLE_EQ(loaded->max_feature_ratio, checkpoint.max_feature_ratio);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsFutureVersion) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(*feat_), path));
+  std::string bytes = ReadAll(path);
+  bytes[4] = 3;  // a version this binary does not know
+  WriteAll(path, bytes);
+  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsUnknownWeightFormat) {
+  const AgentCheckpoint checkpoint = MakeCheckpoint(*feat_);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path));
+  std::string bytes = ReadAll(path);
+  bytes[WeightFormatOffset(checkpoint)] = 7;  // not kWeightFormatFp32
+  WriteAll(path, bytes);
+  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
 TEST_F(CheckpointTest, LoadRejectsParameterCountMismatch) {
   AgentCheckpoint checkpoint = MakeCheckpoint(*feat_);
   checkpoint.parameters.pop_back();

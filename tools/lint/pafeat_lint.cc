@@ -11,6 +11,11 @@
 //   single-row-q    no PredictInto(1, ...) Q queries outside the batched
 //                   inference plane (src/nn/); everything else funnels
 //                   through ActBatch/PredictBatchInto
+//   intrinsics-only-in-kernel-tus
+//                   SIMD intrinsics (_mm*/__m128/__m256/__m512/__mmask*)
+//                   appear only in the per-capability kernel TUs
+//                   (src/tensor/kernels_*.cc); everything else goes through
+//                   the SimdCapability dispatch in src/tensor/kernels.cc
 //   include-guard   headers carry path-derived include guards (the
 //                   compile-alone half of header hygiene is the generated
 //                   per-header TU target, see tools/lint/CMakeLists.txt)
@@ -215,6 +220,29 @@ int SelfTest() {
        "// lint: allow(single-row-q): legacy reference for the equivalence "
        "test\n"
        "net.PredictInto(1, obs.data(), arena, q);\n",
+       {}},
+      {"intrinsic-call-outside-kernels", "src/nn/quantized_net.cc",
+       "__m256i v = _mm256_loadu_si256(p);\n",
+       {"intrinsics-only-in-kernel-tus"}},
+      {"intrinsic-one-finding-per-line", "src/core/feat.cc",
+       "auto v = _mm512_fmadd_ps(a, b, c);\n"
+       "auto w = _mm512_add_ps(v, v);\n",
+       {"intrinsics-only-in-kernel-tus", "intrinsics-only-in-kernel-tus"}},
+      {"intrinsic-mask-type", "src/rl/env.cc",
+       "__mmask16 m = 0;\n", {"intrinsics-only-in-kernel-tus"}},
+      {"intrinsic-kernel-tu-exempt", "src/tensor/kernels_avx512.cc",
+       "__m512 acc = _mm512_setzero_ps();\n", {}},
+      {"intrinsic-kernel-inl-exempt", "src/tensor/kernels_impl.inl",
+       "__m256 acc = _mm256_setzero_ps();\n", {}},
+      {"intrinsic-in-comment-ok", "src/core/feat.cc",
+       "// replaced the _mm256_fmadd_ps path with the dispatch call\n"
+       "int x = 0;\n",
+       {}},
+      {"intrinsic-lookalike-ok", "src/core/feat.cc",
+       "int _map = 0; int __m = _map;\n", {}},
+      {"intrinsic-pragma", "tests/foo_test.cc",
+       "// lint: allow(intrinsics-only-in-kernel-tus): probing lane widths\n"
+       "__m512 v = _mm512_setzero_ps();\n",
        {}},
       {"guard-ok", "src/common/rng.h",
        "#ifndef PAFEAT_COMMON_RNG_H_\n#define PAFEAT_COMMON_RNG_H_\n"

@@ -19,6 +19,7 @@ constexpr char kUnorderedIter[] = "unordered-iter";
 constexpr char kRawAlloc[] = "raw-alloc";
 constexpr char kIncludeGuard[] = "include-guard";
 constexpr char kSingleRowQ[] = "single-row-q";
+constexpr char kIntrinsics[] = "intrinsics-only-in-kernel-tus";
 constexpr char kLintPragma[] = "lint-pragma";
 
 constexpr char kRandomnessHint[] =
@@ -42,6 +43,13 @@ constexpr char kSingleRowQHint[] =
     "inference plane\"); batched rows are bit-identical to single-row "
     "queries. Legacy-reference call sites (e.g. equivalence tests) need "
     "// lint: allow(single-row-q): <why>";
+constexpr char kIntrinsicsHint[] =
+    "SIMD intrinsics live only in the per-capability kernel TUs "
+    "(src/tensor/kernels_*.cc) selected by the SimdCapability dispatch "
+    "(src/tensor/kernels.cc); everything else calls the dispatched entry "
+    "points so the one-time probe decides capability for the whole binary. "
+    "Deliberate uses need "
+    "// lint: allow(intrinsics-only-in-kernel-tus): <why>";
 
 bool Contains(const std::string& haystack, const char* needle) {
   return haystack.find(needle) != std::string::npos;
@@ -70,6 +78,11 @@ bool RawAllocAllowed(const std::string& path) {
 // single-row delegation.
 bool SingleRowQAllowed(const std::string& path) {
   return Contains(path, "src/nn/");
+}
+// Per-capability kernel TUs (kernels_generic.cc / kernels_avx2.cc /
+// kernels_avx512.cc and the shared kernels_impl.inl) own all intrinsics.
+bool IntrinsicsAllowed(const std::string& path) {
+  return Contains(path, "src/tensor/kernels_");
 }
 
 struct Ctx {
@@ -309,7 +322,39 @@ void CheckSingleRowQ(const Ctx& ctx) {
   }
 }
 
-// --- R6: include guards (the compile-alone half runs in CMake) -------------
+// --- R6: SIMD intrinsics confined to kernel TUs ----------------------------
+
+// Vector intrinsic calls (_mm_* / _mm256_* / _mm512_*) and register types
+// (__m128* / __m256* / __m512* / __mmask*). Matching on the identifier prefix
+// keeps the rule ISA-table-free; plain names like `_map` do not collide with
+// the reserved `_mm` / `__m<width>` prefixes.
+bool IsSimdIntrinsicName(const std::string& s) {
+  for (const char* prefix : {"_mm_", "_mm256_", "_mm512_", "__m128", "__m256",
+                             "__m512", "__mmask"}) {
+    if (s.compare(0, std::string::traits_type::length(prefix), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckIntrinsics(const Ctx& ctx) {
+  if (IntrinsicsAllowed(ctx.file->norm_path)) return;
+  const std::vector<Token>& toks = *ctx.toks;
+  int last_line = -1;  // one finding per line — a vector expression uses many
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (!IsSimdIntrinsicName(t.text)) continue;
+    if (t.line == last_line) continue;
+    last_line = t.line;
+    Report(ctx, t.line, kIntrinsics,
+           "SIMD intrinsic '" + t.text + "' outside src/tensor/kernels_*.cc",
+           kIntrinsicsHint);
+  }
+}
+
+// --- R7: include guards (the compile-alone half runs in CMake) -------------
 
 std::string ExpectedGuard(const std::string& norm_path) {
   // src/common/rng.h -> PAFEAT_COMMON_RNG_H_ ; other top-level dirs keep
@@ -387,7 +432,7 @@ void CheckIncludeGuard(const Ctx& ctx) {
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
       kRandomness, kRawThread, kUnorderedIter, kRawAlloc, kSingleRowQ,
-      kIncludeGuard, kLintPragma};
+      kIntrinsics, kIncludeGuard, kLintPragma};
   return kRules;
 }
 
@@ -400,6 +445,7 @@ std::vector<Finding> RunRules(const FileInput& file) {
   CheckUnorderedIter(ctx);
   CheckRawAlloc(ctx);
   CheckSingleRowQ(ctx);
+  CheckIntrinsics(ctx);
   CheckIncludeGuard(ctx);
 
   // Apply pragmas: a pragma suppresses matching findings on its own line,
@@ -427,7 +473,7 @@ std::vector<Finding> RunRules(const FileInput& file) {
           file.display_path, p.line, kLintPragma,
           "pragma names unknown rule '" + p.rule + "'",
           "known rules: randomness, raw-thread, unordered-iter, raw-alloc, "
-          "single-row-q, include-guard"});
+          "single-row-q, intrinsics-only-in-kernel-tus, include-guard"});
     } else if (p.justification.empty()) {
       kept.push_back(Finding{
           file.display_path, p.line, kLintPragma,
