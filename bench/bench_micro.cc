@@ -493,6 +493,31 @@ void BM_IterationSingleRow(benchmark::State& state) {
 }
 BENCHMARK(BM_IterationSingleRow);
 
+// The sharded collector plane's scaling curve (DESIGN.md "Sharded training
+// plane"): num_threads is pinned to 1, so the 1-shard case is the serial
+// collector and each added shard is an added replica — the scale-out shape,
+// not intra-step splitting. 32 episodes/iteration leaves every shard count
+// real work. Shards only add wall-clock concurrency when the host has cores
+// to run them on: on a multi-core host the collection phase scales with the
+// shard count, while a single-core host measures the fan-out overhead
+// (shards run back-to-back on one core) and the curve is flat by
+// construction — the "simd"/"num_cpus" context keys recorded in the JSON
+// baselines say which case a run measured.
+void BM_IterationSharded(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  IterationFixture fixture;
+  FeatConfig config = DefaultFeatOptions(60, 46).feat;
+  config.envs_per_iteration = 32;
+  config.num_threads = 1;
+  config.num_shards = num_shards;
+  Feat feat(fixture.problem.get(), fixture.dataset.SeenTaskIndices(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat.RunIteration().episodes);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_IterationSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_TaskRepresentation(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   Rng rng(12);

@@ -81,7 +81,7 @@ int RunDemo(const std::string& data_path) {
 
 int RunTrain(const Table& table, const std::string& labels_csv,
              const std::string& out_path, int iterations, double mfr,
-             int seed, int num_threads) {
+             int seed, int num_threads, int num_shards) {
   std::vector<int> seen;
   for (const std::string& raw : Split(labels_csv, ',')) {
     const int index = LabelIndexByName(table, Trim(raw));
@@ -108,6 +108,11 @@ int RunTrain(const Table& table, const std::string& labels_csv,
     return 1;
   }
   config.feat.num_threads = num_threads;
+  if (num_shards < 1) {
+    std::fprintf(stderr, "--num_shards must be >= 1\n");
+    return 1;
+  }
+  config.feat.num_shards = num_shards;
   PaFeat pafeat(&problem, seen, config);
   std::printf("training on %zu seen tasks, %d iterations...\n", seen.size(),
               iterations);
@@ -212,6 +217,7 @@ int main(int argc, char** argv) {
   double mfr = 0.5;
   int seed = 7;
   int num_threads = 1;
+  int num_shards = 1;
   int arff_labels = 1;
   bool quantized = false;
   FlagSet flags;
@@ -225,6 +231,8 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", &seed, "random seed");
   flags.AddInt("num_threads", &num_threads,
                "train: episode threads (results are identical at any value)");
+  flags.AddInt("num_shards", &num_shards,
+               "train: collector shards (results are identical at any value)");
   flags.AddInt("arff_labels", &arff_labels,
                "ARFF: number of trailing label attributes");
   flags.AddBool("quantized", &quantized,
@@ -241,7 +249,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (command == "train") {
-    return RunTrain(*table, labels, out, iterations, mfr, seed, num_threads);
+    return RunTrain(*table, labels, out, iterations, mfr, seed, num_threads,
+                    num_shards);
   }
   if (command == "select") {
     return RunSelect(*table, label, agent, seed, quantized);

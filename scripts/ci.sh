@@ -15,7 +15,11 @@
 #   asan      scripts/check.sh asan  (ASan + UBSan + checked assertions),
 #             with PAFEAT_SERVE_QUANTIZED=1 so the quantized-serving sweep
 #             widens to its extended seed set under instrumentation
-#   tsan      scripts/check.sh tsan  (ThreadSanitizer)
+#   tsan      scripts/check.sh tsan  (ThreadSanitizer), with
+#             PAFEAT_SHARD_STRESS_SHARDS=4 so the shard rendezvous stress
+#             runs the sharded collector fan-out at num_shards=4 — several
+#             shards racing on the pool and the shared reward-cache locks
+#             is exactly the traffic TSan should see
 #
 # Prints a summary table and exits nonzero if any step failed. Steps keep
 # running after a failure so one run reports the whole matrix.
@@ -69,7 +73,13 @@ asan_step() {
 run_step "release+lint+werror" release_step
 run_step "release simd=generic" forced_generic_step
 run_step "asan+ubsan+checked" asan_step
-run_step "tsan" scripts/check.sh tsan
+# TSan leg with the sharded collector stress pinned to a 4-shard fan-out
+# (ShardedCollectionRendezvousStress reads the override).
+tsan_step() {
+  PAFEAT_SHARD_STRESS_SHARDS=4 scripts/check.sh tsan
+}
+
+run_step "tsan" tsan_step
 
 echo
 echo "=== ci summary ==="

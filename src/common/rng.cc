@@ -102,4 +102,12 @@ Rng Rng::Fork(uint64_t stream_id) {
   return Rng(Next() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
 }
 
+Rng Rng::Fork(uint64_t path_hi, uint64_t path_lo) {
+  uint64_t s = path_hi;
+  uint64_t key = SplitMix64(&s);
+  s = key ^ path_lo;
+  key = SplitMix64(&s);
+  return Fork(key);
+}
+
 }  // namespace pafeat

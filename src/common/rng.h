@@ -57,6 +57,12 @@ class Rng {
   // of this generator's current state and `stream_id`.
   Rng Fork(uint64_t stream_id);
 
+  // Forks on a two-component path, e.g. (iteration, shard): the components
+  // are hash-combined through SplitMix64 before forking, so neighbouring
+  // paths land on well-separated streams and (a, b) never collides with
+  // (b, a) the way a plain XOR of the keys would.
+  Rng Fork(uint64_t path_hi, uint64_t path_lo);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -52,11 +52,27 @@ Feat::Feat(FsProblem* problem, std::vector<int> seen_label_indices,
   PF_CHECK(problem != nullptr);
   PF_CHECK(!seen_label_indices.empty());
 
+  PF_CHECK_GE(config_.num_shards, 1);
+  PF_CHECK_GE(config_.shard_parallelism, 0);
+  // The sharded collector runs each shard's own step-synchronous loop; the
+  // legacy blocking path has no rendezvous to shard.
+  PF_CHECK(config_.num_shards == 1 || config_.batched_inference);
+
   // Episode collection shares the persistent process-wide pool (no thread
   // spawn/join per iteration); make sure it can deliver the configured
-  // parallelism (the iteration's own thread is the extra executor).
-  if (config_.num_threads > 1) {
-    ThreadPool::EnsureGlobalWorkers(config_.num_threads - 1);
+  // parallelism (the iteration's own thread is the extra executor). The
+  // shard fan-out wants one executor per shard unless shard_parallelism
+  // caps it lower.
+  int executors = config_.num_threads;
+  if (config_.num_shards > 1) {
+    const int shard_executors = config_.shard_parallelism > 0
+                                    ? std::min(config_.shard_parallelism,
+                                               config_.num_shards)
+                                    : config_.num_shards;
+    executors = std::max(executors, shard_executors);
+  }
+  if (executors > 1) {
+    ThreadPool::EnsureGlobalWorkers(executors - 1);
   }
 
   for (int label_index : seen_label_indices) AddTask(label_index);
@@ -151,7 +167,7 @@ Trajectory Feat::RunEpisode(const EpisodePlan& plan,
 }
 
 void Feat::CollectEpisodesBatched(
-    const std::vector<EpisodePlan>& plans, int num_threads,
+    const std::vector<const EpisodePlan*>& plans, int num_threads,
     std::vector<Trajectory>* trajectories,
     std::vector<std::vector<int>>* episode_actions) {
   const int num_episodes = static_cast<int>(plans.size());
@@ -165,7 +181,7 @@ void Feat::CollectEpisodesBatched(
   drivers.reserve(num_episodes);
   std::vector<EpisodeDriver::RewardShapeFn> shapers(num_episodes);
   for (int i = 0; i < num_episodes; ++i) {
-    const EpisodePlan& plan = plans[i];
+    const EpisodePlan& plan = *plans[i];
     drivers.emplace_back(*tasks_[plan.slot].env, plan.rng);
     if (plan.start.has_value()) {
       drivers.back().StartFrom(plan.start->state, plan.start->prefix,
@@ -239,10 +255,84 @@ void Feat::CollectEpisodesBatched(
   }
 }
 
-std::vector<BatchItem> Feat::BuildBatch(int slot, int count) {
-  SeenTaskRuntime& task = tasks_[slot];
-  const std::vector<const Transition*> sampled =
-      task.buffer->SampleTransitions(count, &rng_);
+int Feat::ShardOfEpisode(uint64_t iteration, int episode_index,
+                         int num_shards) {
+  PF_CHECK_GT(num_shards, 0);
+  // SplitMix64-style avalanche of the (iteration, episode) pair. A plain
+  // `episode % num_shards` would also be deterministic, but it would give
+  // every shard a contiguous stride of the plan — the hash spreads any
+  // scheduler bias across shards and matches how a distributed partitioner
+  // would key episodes.
+  uint64_t z = iteration * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(episode_index) + 0x632be59bd9b4e019ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<uint64_t>(num_shards));
+}
+
+void Feat::CollectEpisodesSharded(
+    const std::vector<EpisodePlan>& plans, int num_shards,
+    std::vector<Trajectory>* trajectories,
+    std::vector<std::vector<int>>* episode_actions) {
+  // Partition by the fixed (iteration, episode) hash. The assignment is a
+  // pure function of the plan's position, and planning itself already
+  // happened serially on the root stream — so both the episode set and
+  // every per-episode RNG stream are shard-count-invariant by construction.
+  std::vector<ShardPlan> shards(num_shards);
+  // Shard streams fork off a fresh root-seeded generator (not rng_) on the
+  // (iteration, shard) path: reserved draws must not advance the planning
+  // stream, or num_shards would leak into later iterations' plans.
+  Rng shard_root(config_.seed);
+  for (int s = 0; s < num_shards; ++s) {
+    shards[s].shard_id = s;
+    shards[s].rng = shard_root.Fork(iteration_index_, static_cast<uint64_t>(s));
+  }
+  for (int i = 0; i < static_cast<int>(plans.size()); ++i) {
+    const int shard = ShardOfEpisode(iteration_index_, i, num_shards);
+    shards[shard].plan_indices.push_back(i);
+  }
+
+  // Shard-local accumulators, merged only after the fan-out barrier below —
+  // the collect-then-deterministic-Build shape: no shard writes shared
+  // state while collecting, so finish order cannot influence the merge.
+  std::vector<std::vector<Trajectory>> shard_trajectories(num_shards);
+  std::vector<std::vector<std::vector<int>>> shard_actions(num_shards);
+  const int executors =
+      config_.shard_parallelism > 0
+          ? std::min(config_.shard_parallelism, num_shards)
+          : num_shards;
+  ThreadPool::Global()->ParallelFor(num_shards, executors, [&](int s) {
+    const ShardPlan& shard = shards[s];
+    const int count = static_cast<int>(shard.plan_indices.size());
+    shard_trajectories[s].resize(count);
+    shard_actions[s].resize(count);
+    if (count == 0) return;
+    std::vector<const EpisodePlan*> shard_plans;
+    shard_plans.reserve(count);
+    for (int index : shard.plan_indices) shard_plans.push_back(&plans[index]);
+    // Nested ParallelFor calls run inline on this worker, so within-shard
+    // parallelism is 1 by construction; the fan-out above is the
+    // parallelism.
+    CollectEpisodesBatched(shard_plans, /*num_threads=*/1,
+                           &shard_trajectories[s], &shard_actions[s]);
+  });
+
+  // Deterministic merge, (shard id, plan index) order: each shard's results
+  // land back at their global plan indices, so the commit loop that follows
+  // sees exactly the single-shard layout.
+  for (int s = 0; s < num_shards; ++s) {
+    for (int j = 0; j < static_cast<int>(shards[s].plan_indices.size()); ++j) {
+      const int index = shards[s].plan_indices[j];
+      (*trajectories)[index] = std::move(shard_trajectories[s][j]);
+      (*episode_actions)[index] = std::move(shard_actions[s][j]);
+    }
+  }
+}
+
+std::vector<BatchItem> Feat::MaterializeBatch(
+    int slot, const std::vector<const Transition*>& sampled) const {
+  const SeenTaskRuntime& task = tasks_[slot];
   std::vector<BatchItem> batch;
   batch.reserve(sampled.size());
   for (const Transition* transition : sampled) {
@@ -296,8 +386,16 @@ IterationStats Feat::RunIteration() {
   std::vector<std::vector<int>> episode_actions(num_episodes);
   const int num_threads =
       std::max(1, std::min(config_.num_threads, num_episodes));
-  if (config_.batched_inference) {
-    CollectEpisodesBatched(plans, num_threads, &trajectories,
+  const int num_shards =
+      std::max(1, std::min(config_.num_shards, num_episodes));
+  if (num_shards > 1) {
+    CollectEpisodesSharded(plans, num_shards, &trajectories,
+                           &episode_actions);
+  } else if (config_.batched_inference) {
+    std::vector<const EpisodePlan*> plan_ptrs;
+    plan_ptrs.reserve(num_episodes);
+    for (const EpisodePlan& plan : plans) plan_ptrs.push_back(&plan);
+    CollectEpisodesBatched(plan_ptrs, num_threads, &trajectories,
                            &episode_actions);
   } else {
     // Legacy blocking path, kept as the reference for equivalence tests.
@@ -330,17 +428,51 @@ IterationStats Feat::RunIteration() {
   }
 
   // --- Parameter Updating Phase (Algorithm 1 lines 19-21) ---
-  double loss_total = 0.0;
-  int loss_count = 0;
+  // Three passes, so that pooled work can never touch the sampling stream
+  // or the update order: (1) sample every batch serially in (slot, k)
+  // order — exactly the rng_ draw sequence of an interleaved
+  // sample-then-train loop, since TrainBatch itself never draws; (2)
+  // materialize the observation batches on the pool (pure reads of
+  // transitions the ReadGuards keep borrowed — no AddTrajectory can run
+  // until the guards drop); (3) take the gradient steps serially in the
+  // same fixed (slot, k) order — TrainBatch steps are sequentially
+  // dependent, and their GEMMs already fan out through the pooled kernels.
+  struct PlannedUpdate {
+    int slot = 0;
+    std::vector<const Transition*> sampled;
+    std::vector<BatchItem> batch;
+  };
+  std::vector<PlannedUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(num_tasks()) *
+                  config_.updates_per_task);
+  std::vector<ReplayBuffer::ReadGuard> guards;
+  guards.reserve(tasks_.size());
   for (int slot = 0; slot < num_tasks(); ++slot) {
     if (tasks_[slot].buffer->empty()) continue;
+    guards.emplace_back(*tasks_[slot].buffer);
     for (int k = 0; k < config_.updates_per_task; ++k) {
-      const std::vector<BatchItem> batch =
-          BuildBatch(slot, config_.batch_size);
-      loss_total += agent_->TrainBatch(batch);
-      ++loss_count;
+      PlannedUpdate update;
+      update.slot = slot;
+      update.sampled =
+          tasks_[slot].buffer->SampleTransitions(config_.batch_size, &rng_);
+      updates.push_back(std::move(update));
     }
   }
+  const int learner_threads =
+      std::max(1, std::min(std::max(config_.num_threads, num_shards),
+                           static_cast<int>(updates.size())));
+  ThreadPool::Global()->ParallelFor(
+      static_cast<int>(updates.size()), learner_threads, [&](int u) {
+        updates[u].batch = MaterializeBatch(updates[u].slot,
+                                            updates[u].sampled);
+      });
+  double loss_total = 0.0;
+  int loss_count = 0;
+  for (PlannedUpdate& update : updates) {
+    loss_total += agent_->TrainBatch(update.batch);
+    ++loss_count;
+  }
+  guards.clear();
   stats.mean_loss = loss_count > 0 ? loss_total / loss_count : 0.0;
 
   // Reward-cache traffic this iteration, summed over all seen tasks.
@@ -357,17 +489,31 @@ IterationStats Feat::RunIteration() {
   PF_LOG(Debug) << "iteration reward cache: " << stats.cache_hits
                 << " hits, " << stats.cache_misses << " misses";
 
+  ++iteration_index_;
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }
 
 double Feat::Train(int iterations) {
+  return TrainWithStats(iterations).mean_iteration_seconds;
+}
+
+TrainingStats Feat::TrainWithStats(int iterations) {
   PF_CHECK_GT(iterations, 0);
-  double total_seconds = 0.0;
+  TrainingStats totals;
+  double loss_sum = 0.0;
   for (int i = 0; i < iterations; ++i) {
-    total_seconds += RunIteration().seconds;
+    const IterationStats stats = RunIteration();
+    ++totals.iterations;
+    totals.total_seconds += stats.seconds;
+    totals.episodes += stats.episodes;
+    loss_sum += stats.mean_loss;
+    totals.cache_hits += stats.cache_hits;
+    totals.cache_misses += stats.cache_misses;
   }
-  return total_seconds / iterations;
+  totals.mean_iteration_seconds = totals.total_seconds / totals.iterations;
+  totals.mean_loss = loss_sum / totals.iterations;
+  return totals;
 }
 
 FeatureMask Feat::SelectForRepresentation(

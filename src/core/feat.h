@@ -40,6 +40,22 @@ struct FeatConfig {
   // exploration draws happen in plan order on the per-episode streams and
   // batched Q rows match single-row queries bit-for-bit.
   bool batched_inference = true;
+  // Sharded collector plane (DESIGN.md "Sharded training plane"): the
+  // iteration's planned episodes are partitioned across `num_shards`
+  // collector shards by a fixed hash of (iteration, episode index), each
+  // shard runs its own step-synchronous batched collection concurrently on
+  // the global pool, and the shard-local accumulators are merged in
+  // (shard id, plan index) order before the plan-order commit. Training is
+  // bit-identical at any shard count: planning stays serial on the root
+  // stream (the episode set and per-episode RNG streams never depend on the
+  // shard count), every draw during collection comes from an episode's own
+  // stream, and batched Q rows match at any batch composition by kernel
+  // construction. num_shards = 1 keeps the single-replica path
+  // byte-identical; num_shards > 1 requires batched_inference.
+  // shard_parallelism caps the executors of the shard fan-out
+  // (0 = one per shard); the constructor grows the pool accordingly.
+  int num_shards = 1;
+  int shard_parallelism = 0;
   int recent_returns_window = 32;
   DqnConfig dqn;                 // dqn.net.input_dim is filled automatically
   uint64_t seed = 7;
@@ -138,6 +154,25 @@ struct IterationStats {
   long long cache_misses = 0;
 };
 
+// Aggregate over a multi-iteration training run (Feat::TrainWithStats): the
+// per-iteration IterationStats folded together so long runs are observable
+// without collecting every RunIteration result by hand.
+struct TrainingStats {
+  int iterations = 0;
+  double total_seconds = 0.0;
+  double mean_iteration_seconds = 0.0;
+  int episodes = 0;           // committed episodes across all iterations
+  double mean_loss = 0.0;     // unweighted mean of per-iteration mean losses
+  long long cache_hits = 0;   // summed reward-cache deltas
+  long long cache_misses = 0;
+
+  // Fraction of reward-cache lookups served from cache (0 with no traffic).
+  double CacheHitRate() const {
+    const long long lookups = cache_hits + cache_misses;
+    return lookups > 0 ? static_cast<double>(cache_hits) / lookups : 0.0;
+  }
+};
+
 // The FEAT framework (paper §III-B, Algorithm 1): one global Dueling-DQN
 // agent trained from per-task replay buffers filled by episodes on the seen
 // tasks' environments. PA-FEAT and the FEAT-based baselines (PopArt,
@@ -160,6 +195,18 @@ class Feat {
 
   // Runs `iterations` iterations; returns the mean iteration wall time.
   double Train(int iterations);
+
+  // Runs `iterations` iterations and returns the aggregated statistics
+  // (Train keeps only mean seconds; this keeps episodes, losses and
+  // reward-cache traffic as well).
+  TrainingStats TrainWithStats(int iterations);
+
+  // The collector shard an episode plan belongs to: a fixed avalanche hash
+  // of (iteration, episode index), so the assignment is a pure function of
+  // the plan's position — never of shard timing, RNG state, or the shard
+  // count used by previous iterations. Exposed for tests.
+  static int ShardOfEpisode(uint64_t iteration, int episode_index,
+                            int num_shards);
 
   // Fast feature selection for an unseen task (Algorithm 1 lines 22-24):
   // computes the task representation and executes one greedy episode. The
@@ -209,17 +256,40 @@ class Feat {
     Rng rng{0};
   };
 
+  // One collector shard of an iteration's buffer-filling phase: the subset
+  // of plan indices assigned by ShardOfEpisode, plus a shard RNG stream
+  // forked from the root seed on the (iteration, shard id) path. No current
+  // consumer draws from the stream — it is reserved for per-shard scheduling
+  // extensions (e.g. success-induced task prioritization) and forked off a
+  // fresh root-seeded generator so taking draws later cannot perturb the
+  // planning stream.
+  struct ShardPlan {
+    int shard_id = 0;
+    Rng rng{0};
+    std::vector<int> plan_indices;
+  };
+
   Trajectory RunEpisode(const EpisodePlan& plan,
                         std::vector<int>* full_actions);
-  // Step-synchronous execution of all planned episodes: per step, a serial
-  // plan-order planning pass (exploration draws), one batched greedy Q pass
-  // over every live driver, then a parallel environment-step pass. Fills
-  // `trajectories` and `episode_actions` indexed like `plans`.
-  void CollectEpisodesBatched(const std::vector<EpisodePlan>& plans,
+  // Step-synchronous execution of the given planned episodes: per step, a
+  // serial plan-order planning pass (exploration draws), one batched greedy
+  // Q pass over every live driver, then a parallel environment-step pass.
+  // Fills `trajectories` and `episode_actions` indexed like `plans`.
+  void CollectEpisodesBatched(const std::vector<const EpisodePlan*>& plans,
                               int num_threads,
                               std::vector<Trajectory>* trajectories,
                               std::vector<std::vector<int>>* episode_actions);
-  std::vector<BatchItem> BuildBatch(int slot, int count);
+  // Sharded buffer-filling phase: partitions `plans` into ShardPlans, runs
+  // each shard's CollectEpisodesBatched concurrently on the global pool,
+  // then merges the shard-local accumulators in (shard id, plan index)
+  // order — results are byte-equal regardless of which shard finishes
+  // first because no shard touches shared mutable state while collecting.
+  void CollectEpisodesSharded(const std::vector<EpisodePlan>& plans,
+                              int num_shards,
+                              std::vector<Trajectory>* trajectories,
+                              std::vector<std::vector<int>>* episode_actions);
+  std::vector<BatchItem> MaterializeBatch(
+      int slot, const std::vector<const Transition*>& sampled) const;
 
   FsProblem* problem_;
   FeatConfig config_;
@@ -231,6 +301,9 @@ class Feat {
   std::unique_ptr<RewardShaper> reward_shaper_;
   std::vector<double> last_probabilities_;
   int focus_slot_ = -1;
+  // 0-based index of the next RunIteration call; keys the shard-assignment
+  // hash and the per-shard RNG fork path.
+  uint64_t iteration_index_ = 0;
   // Running reward-cache totals at the end of the previous iteration, used
   // to report per-iteration deltas in IterationStats.
   long long prev_cache_hits_ = 0;

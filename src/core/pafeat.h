@@ -35,6 +35,12 @@ class PaFeat {
   // seconds (Table II's "Iter").
   double Train(int iterations);
 
+  // Like Train, but returns the aggregated run statistics (episodes, mean
+  // loss, reward-cache hit rate) instead of only the mean wall time.
+  TrainingStats TrainWithStats(int iterations) {
+    return feat_->TrainWithStats(iterations);
+  }
+
   IterationStats RunIteration() { return feat_->RunIteration(); }
 
   // Fast feature selection for an unseen task; `execution_seconds` (optional)

@@ -10,6 +10,9 @@ ReplayBuffer::ReplayBuffer(int capacity_transitions)
 }
 
 void ReplayBuffer::AddTrajectory(Trajectory trajectory) {
+  // Mutating while a ReadGuard is registered could evict trajectories whose
+  // transitions the reader still points into.
+  PF_DCHECK_EQ(readers_, 0);
   if (trajectory.transitions.empty()) return;
   num_transitions_ += static_cast<int>(trajectory.transitions.size());
   trajectories_.push_back(std::move(trajectory));

@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "rl/types.h"
 
@@ -12,17 +13,63 @@ namespace pafeat {
 // Bounded FIFO replay buffer of whole trajectories (Algorithm 1 keeps one
 // buffer B^k per seen task). Sampling is uniform over stored transitions;
 // the ITS reads the most recent trajectories (Eqn 4a's load module).
+//
+// Borrow contract: SampleTransitions / RecentTrajectories return raw
+// pointers into the trajectory deque, and AddTrajectory evicts the oldest
+// trajectories once the transition count exceeds capacity — so adding while
+// borrowed pointers are live can dangle them. Callers that hold sampled
+// pointers across statements (e.g. the learner's sample-then-materialize
+// split) register the borrow with a ReadGuard; AddTrajectory asserts (in
+// checked builds) that no borrow is outstanding. The flag is plain state:
+// guards must be created and destroyed on the thread that owns the buffer.
 class ReplayBuffer {
  public:
   explicit ReplayBuffer(int capacity_transitions);
 
+  // RAII registration of a borrow window over the buffer's internal
+  // storage. Movable so windows can be collected in a vector spanning
+  // several buffers.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const ReplayBuffer& buffer) : buffer_(&buffer) {
+      buffer_->BeginRead();
+    }
+    ~ReadGuard() {
+      if (buffer_ != nullptr) buffer_->EndRead();
+    }
+    ReadGuard(ReadGuard&& other) noexcept : buffer_(other.buffer_) {
+      other.buffer_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        if (buffer_ != nullptr) buffer_->EndRead();
+        buffer_ = other.buffer_;
+        other.buffer_ = nullptr;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    const ReplayBuffer* buffer_;
+  };
+
   void AddTrajectory(Trajectory trajectory);
 
-  // Uniformly samples `count` transitions (with replacement).
+  // Uniformly samples `count` transitions (with replacement). The pointers
+  // are only stable until the next AddTrajectory — see the borrow contract.
   std::vector<const Transition*> SampleTransitions(int count, Rng* rng) const;
 
   // The most recent `count` trajectories, newest last (fewer if not enough).
+  // Same borrow contract as SampleTransitions.
   std::vector<const Trajectory*> RecentTrajectories(int count) const;
+
+  void BeginRead() const { ++readers_; }
+  void EndRead() const {
+    PF_DCHECK_GT(readers_, 0);
+    --readers_;
+  }
 
   int num_transitions() const { return num_transitions_; }
   int num_trajectories() const { return static_cast<int>(trajectories_.size()); }
@@ -31,6 +78,9 @@ class ReplayBuffer {
  private:
   int capacity_;
   int num_transitions_ = 0;
+  // Outstanding borrow windows (checked builds only assert on it); mutable
+  // because registering a read is logically const.
+  mutable int readers_ = 0;
   std::deque<Trajectory> trajectories_;
 };
 

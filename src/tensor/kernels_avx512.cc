@@ -27,6 +27,16 @@
 
 #include <immintrin.h>
 
+// GCC 12 flags the `__m256i __Y = __Y` self-init inside
+// _mm256_undefined_si256 (reached via _mm512_reduce_add_epi32's extract
+// step) as maybe-uninitialized once sanitizer instrumentation perturbs
+// inlining (GCC PR 105593). The upper lanes are fully written before any
+// use; suppress the false positive for this TU so -Werror sanitizer builds
+// stay clean. Diagnostics only — codegen is unchanged.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 #define PAFEAT_QUANT_NAMESPACE avx512
 #include "tensor/kernels_quantize.inl"
 #undef PAFEAT_QUANT_NAMESPACE

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/workspace.h"
+#include "rl/replay_buffer.h"
 #include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
@@ -84,6 +85,22 @@ TEST(CheckedBuildDeathTest, GemmRejectsUndersizedStride)
   float b[16] = {0};
   float c[16] = {0};
   EXPECT_DEATH(kernels::GemmNN(4, 4, 4, a, /*lda=*/3, b, 4, c, 4), "");
+}
+
+TEST(CheckedBuildDeathTest, ReplayBufferAddWhileBorrowedAsserts) {
+  // SampleTransitions hands out raw pointers into the trajectory deque;
+  // AddTrajectory may evict their pointees, so adding inside a registered
+  // borrow window is a contract violation the checked build catches.
+  ReplayBuffer buffer(4);
+  Trajectory trajectory;
+  Transition transition;
+  transition.state.mask = {0, 0};
+  transition.next_state.mask = {1, 0};
+  transition.done = true;
+  trajectory.transitions.push_back(transition);
+  buffer.AddTrajectory(trajectory);
+  ReplayBuffer::ReadGuard guard(buffer);
+  EXPECT_DEATH(buffer.AddTrajectory(trajectory), "readers_");
 }
 
 #else  // !PAFEAT_CHECKED

@@ -4,6 +4,7 @@
 // SubsetEvaluator stampede over a shared mask working set.
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -265,6 +266,56 @@ TEST(ConcurrencyStressTest, BatchedCollectionRendezvousStress) {
   }
   EXPECT_EQ(serial.agent().online_net().SerializeParams(),
             pooled.agent().online_net().SerializeParams());
+}
+
+TEST(ConcurrencyStressTest, ShardedCollectionRendezvousStress) {
+  // The sharded collector fan-out under contention: each shard runs its own
+  // step-synchronous loop on a pool worker while all of them hammer the
+  // shared reward cache, and the merge must still be byte-deterministic.
+  // The tsan CI leg widens the fan-out via PAFEAT_SHARD_STRESS_SHARDS=4
+  // (any value in [1, 16] is honored — under TSan the interesting traffic
+  // is several shards racing on the evaluator locks).
+  int num_shards = 4;
+  if (const char* env = std::getenv("PAFEAT_SHARD_STRESS_SHARDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 16) num_shards = parsed;
+  }
+
+  SyntheticSpec spec;
+  spec.num_instances = 240;
+  spec.num_features = 12;
+  spec.num_seen_tasks = 3;
+  spec.num_unseen_tasks = 1;
+  spec.seed = 29;
+  SyntheticDataset dataset = GenerateSynthetic(spec);
+  FsProblem problem(dataset.table, DefaultProblemConfig(true), 31);
+
+  FeatConfig base = DefaultFeatOptions(60, 29).feat;
+  base.envs_per_iteration = 8;
+  base.max_feature_ratio = 0.5;
+
+  FeatConfig single_config = base;
+  FeatConfig sharded_config = base;
+  sharded_config.num_shards = num_shards;
+
+  Feat single(&problem, dataset.SeenTaskIndices(), single_config);
+  Feat sharded(&problem, dataset.SeenTaskIndices(), sharded_config);
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    const IterationStats single_stats = single.RunIteration();
+    const IterationStats sharded_stats = sharded.RunIteration();
+    ASSERT_EQ(single_stats.mean_loss, sharded_stats.mean_loss)
+        << "iteration " << iteration << " num_shards " << num_shards;
+    ASSERT_EQ(single_stats.episodes, sharded_stats.episodes);
+    ASSERT_EQ(single_stats.task_probabilities,
+              sharded_stats.task_probabilities);
+  }
+  EXPECT_EQ(single.agent().online_net().SerializeParams(),
+            sharded.agent().online_net().SerializeParams());
+  for (int slot = 0; slot < single.num_tasks(); ++slot) {
+    EXPECT_EQ(single.task_runtime(slot).buffer->num_transitions(),
+              sharded.task_runtime(slot).buffer->num_transitions())
+        << "slot " << slot;
+  }
 }
 
 }  // namespace

@@ -311,6 +311,45 @@ TEST_F(FeatTest, IterationStatsReportCacheTrafficDeltas) {
   EXPECT_GT(total_hits, 0);
 }
 
+TEST_F(FeatTest, TrainWithStatsAggregatesIterationStats) {
+  // Train() keeps only mean seconds; TrainWithStats must reconcile with the
+  // per-iteration stream it folds (episodes, losses, cache traffic).
+  Feat feat(&problem_, dataset_.SeenTaskIndices(), SmallFeatConfig());
+  const TrainingStats totals = feat.TrainWithStats(6);
+  EXPECT_EQ(totals.iterations, 6);
+  EXPECT_EQ(totals.episodes, 18);  // 6 iterations x 3 envs
+  EXPECT_GT(totals.total_seconds, 0.0);
+  EXPECT_NEAR(totals.mean_iteration_seconds, totals.total_seconds / 6, 1e-12);
+  EXPECT_GT(totals.mean_loss, 0.0);
+  EXPECT_GT(totals.cache_misses, 0);
+  EXPECT_GE(totals.cache_hits, 0);
+  const double rate = totals.CacheHitRate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LT(rate, 1.0);  // misses above, so never exactly 1
+
+  // Identical run: the aggregate must match a hand-folded RunIteration
+  // stream and Train()'s mean-seconds contract stays the aggregate's field.
+  Feat replay(&problem_, dataset_.SeenTaskIndices(), SmallFeatConfig());
+  int episodes = 0;
+  double loss_sum = 0.0;
+  long long hits = 0;
+  long long misses = 0;
+  for (int i = 0; i < 6; ++i) {
+    const IterationStats stats = replay.RunIteration();
+    episodes += stats.episodes;
+    loss_sum += stats.mean_loss;
+    hits += stats.cache_hits;
+    misses += stats.cache_misses;
+  }
+  EXPECT_EQ(totals.episodes, episodes);
+  EXPECT_EQ(totals.mean_loss, loss_sum / 6);
+  // Cache deltas are counted against the shared problem's evaluators, whose
+  // cache the first run already warmed — so compare only determinism-safe
+  // aggregates here (the sharded-training suite compares cache deltas
+  // between runs on separate problems).
+  EXPECT_LE(misses, totals.cache_misses);
+}
+
 TEST_F(FeatTest, SelectForRepresentationIsDeterministic) {
   Feat feat(&problem_, dataset_.SeenTaskIndices(), SmallFeatConfig());
   feat.Train(10);

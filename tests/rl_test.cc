@@ -1,5 +1,6 @@
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +56,50 @@ TEST(ReplayBufferTest, KeepsAtLeastOneTrajectory) {
   buffer.AddTrajectory(MakeTrajectory(8, 4, 0.5f));
   EXPECT_EQ(buffer.num_trajectories(), 1);  // oversize but retained
   EXPECT_EQ(buffer.num_transitions(), 8);
+}
+
+TEST(ReplayBufferTest, CapacityBoundaryEviction) {
+  // Exactly at capacity nothing is evicted; the very next transition over
+  // the boundary evicts whole oldest trajectories until back under (the
+  // borrow contract matters precisely because this can happen on any add).
+  ReplayBuffer buffer(10);
+  buffer.AddTrajectory(MakeTrajectory(4, 4, 0.1f));
+  buffer.AddTrajectory(MakeTrajectory(6, 4, 0.2f));
+  EXPECT_EQ(buffer.num_transitions(), 10);  // == capacity: no eviction
+  EXPECT_EQ(buffer.num_trajectories(), 2);
+
+  buffer.AddTrajectory(MakeTrajectory(1, 4, 0.3f));
+  // 11 > 10 evicts the 4-step trajectory (whole trajectories only).
+  EXPECT_EQ(buffer.num_transitions(), 7);
+  EXPECT_EQ(buffer.num_trajectories(), 2);
+  const auto recent = buffer.RecentTrajectories(2);
+  EXPECT_FLOAT_EQ(recent[0]->episode_return, 0.2f);
+  EXPECT_FLOAT_EQ(recent[1]->episode_return, 0.3f);
+
+  // Eviction stops once under capacity even if several small trajectories
+  // could still be dropped.
+  buffer.AddTrajectory(MakeTrajectory(6, 4, 0.4f));
+  EXPECT_EQ(buffer.num_transitions(), 7);  // 13 -> evict 6-step -> 7
+  EXPECT_EQ(buffer.num_trajectories(), 2);
+  EXPECT_FLOAT_EQ(buffer.RecentTrajectories(10)[0]->episode_return, 0.3f);
+}
+
+TEST(ReplayBufferTest, ReadGuardRegistersAndReleasesBorrow) {
+  // The guard is bookkeeping for the no-add-while-borrowed contract: adds
+  // are legal again as soon as every guard has been destroyed (the
+  // violation itself is a PF_DCHECK, exercised by the checked build).
+  ReplayBuffer buffer(100);
+  buffer.AddTrajectory(MakeTrajectory(4, 4, 0.1f));
+  {
+    ReplayBuffer::ReadGuard outer(buffer);
+    ReplayBuffer::ReadGuard inner(buffer);  // borrows nest
+    Rng rng(5);
+    const auto sampled = buffer.SampleTransitions(8, &rng);
+    EXPECT_EQ(sampled.size(), 8u);
+    ReplayBuffer::ReadGuard moved(std::move(inner));  // transfer, not double
+  }
+  buffer.AddTrajectory(MakeTrajectory(4, 4, 0.2f));
+  EXPECT_EQ(buffer.num_trajectories(), 2);
 }
 
 TEST(ReplayBufferTest, SampleReturnsStoredTransitions) {

@@ -252,6 +252,37 @@ int SelfTest() {
        "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n", {"include-guard"}},
       {"guard-missing", "src/common/rng.h", "int x;\n", {"include-guard"}},
       {"guard-not-checked-for-cc", "src/common/rng.cc", "int x;\n", {}},
+      // Sharded training plane (PR 6): the collector fan-out and merge code
+      // shapes the contract rules must keep covering.
+      {"shard-fanout-raw-thread", "src/core/feat.cc",
+       "void CollectShards() {\n"
+       "  std::vector<std::thread> workers;\n"
+       "  for (int s = 0; s < num_shards; ++s) workers.emplace_back([] {});\n"
+       "  for (auto& t : workers) t.join();\n"
+       "}\n",
+       {"raw-thread"}},
+      {"shard-fanout-pool-ok", "src/core/feat.cc",
+       "ThreadPool::Global()->ParallelFor(num_shards, executors,\n"
+       "                                 [&](int s) { CollectShard(s); });\n",
+       {}},
+      {"shard-rng-fork-ok", "src/core/feat.cc",
+       "Rng shard_root(config_.seed);\n"
+       "Rng shard_rng = shard_root.Fork(iteration_index_, shard_id);\n",
+       {}},
+      {"shard-seed-from-mt19937", "src/core/feat.cc",
+       "std::mt19937 shard_gen(shard_id);\n", {"randomness"}},
+      {"shard-merge-unordered-iter", "src/core/feat.cc",
+       "std::unordered_map<int, std::vector<int>> shard_plans;\n"
+       "void Merge() {\n"
+       "  for (const auto& kv : shard_plans) Commit(kv.second);\n"
+       "}\n",
+       {"unordered-iter"}},
+      {"shard-merge-ordered-ok", "src/core/feat.cc",
+       "std::vector<ShardPlan> shards;\n"
+       "void Merge() {\n"
+       "  for (const ShardPlan& shard : shards) Commit(shard);\n"
+       "}\n",
+       {}},
   };
 
   int failures = 0;
