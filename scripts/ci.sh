@@ -7,6 +7,12 @@
 #   release   Release build + full ctest suite — includes pafeat_lint_test
 #             (tree-wide determinism/concurrency lint), the lint self-test,
 #             and the generated per-header self-containment TUs
+#   analyze   The cross-TU semantic pass (pafeat-analyze) standalone: rule
+#             self-tests, then the tree gate over src/ — any new rng-escape /
+#             borrow-across-mutation / hot-path-alloc / pool-reentrancy
+#             finding fails the run (ctest covers this too via
+#             pafeat_analyze_{selftest,tree}; the dedicated step makes the
+#             analyzer's verdict a first-class row in the summary table)
 #   generic   The same release binaries re-tested under PAFEAT_SIMD=generic:
 #             the capability ladder's forced-downgrade contract (fp32 plane
 #             bit-identical at every compiled-in level) exercised with the
@@ -70,7 +76,14 @@ asan_step() {
   PAFEAT_SERVE_QUANTIZED=1 scripts/check.sh asan
 }
 
+# Semantic analyzer leg: reuses the release tree's binary (built above).
+analyze_step() {
+  ./build/tools/lint/pafeat-analyze --self-test &&
+  ./build/tools/lint/pafeat-analyze --root . src
+}
+
 run_step "release+lint+werror" release_step
+run_step "analyze (semantic)" analyze_step
 run_step "release simd=generic" forced_generic_step
 run_step "asan+ubsan+checked" asan_step
 # TSan leg with the sharded collector stress pinned to a 4-shard fan-out

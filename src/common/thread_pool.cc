@@ -16,8 +16,10 @@ thread_local bool tls_inside_parallel_for = false;
 
 ThreadPool::ThreadPool(int num_workers) {
   PF_CHECK_GE(num_workers, 0);
+  // lint: allow(hot-path-alloc): one-time pool construction, not a step
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
+    // lint: allow(hot-path-alloc): one-time pool construction, not a step
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
   num_workers_.store(static_cast<int>(workers_.size()),
@@ -129,6 +131,7 @@ ThreadPool* NewGlobalPool() {
   // The calling thread participates in every job, so hw - 1 workers saturate
   // the machine. Leaked deliberately: worker threads must outlive any static
   // destructor that might still issue a GEMM.
+  // lint: allow(hot-path-alloc): function-local-static init, runs once
   return new ThreadPool(std::max(0, hw - 1));
 }
 }  // namespace

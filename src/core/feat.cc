@@ -237,6 +237,10 @@ void Feat::CollectEpisodesBatched(
     // Phase 3 (parallel): environment steps + reward shaping. Each worker
     // touches only its own driver; the reward cache behind the shared
     // evaluator is locked.
+    // Under CollectEpisodesSharded this runs inline on the shard's worker
+    // by design: determinism is per-shard, parallelism comes from the outer
+    // shard loop (the blessed fan-out idiom).
+    // lint: allow(pool-reentrancy): shard fan-out degrades inline by design
     ThreadPool::Global()->ParallelFor(
         static_cast<int>(live.size()), num_threads, [&](int i) {
           drivers[live[i]].ApplyAction(shapers[live[i]]);

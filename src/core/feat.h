@@ -293,7 +293,10 @@ class Feat {
 
   FsProblem* problem_;
   FeatConfig config_;
-  Rng rng_;
+  // The training root stream: advanced only on the serial plan/commit path.
+  // Parallel code gets Fork()ed child streams by value — pafeat-analyze
+  // (rng-escape) rejects any call path from a ParallelFor/Submit body here.
+  Rng rng_;  // analyze: root-rng
   std::vector<SeenTaskRuntime> tasks_;
   std::unique_ptr<DqnAgent> agent_;
   std::unique_ptr<TaskScheduler> scheduler_;

@@ -12,6 +12,10 @@ namespace {
 // The lock-step scan, shared by the fp32 and quantized tiers. `Net` only
 // needs config() (input_dim, num_actions == kNumActions) and a
 // PredictBatchInto with DuelingNet's signature.
+//
+// This is the greedy serving tier's steady state: after the per-request
+// setup below, the position loop must not touch the heap.
+// analyze: hot-path-root
 template <typename Net>
 std::vector<FeatureMask> GreedyScan(
     const Net& net, const std::vector<std::vector<float>>& representations,
@@ -31,11 +35,13 @@ std::vector<FeatureMask> GreedyScan(
   std::vector<FeatureMask> masks(num_tasks, FeatureMask(m, 0));
   std::vector<int> selected(num_tasks, 0);
   std::vector<int> live;
+  // lint: allow(hot-path-alloc): per-request setup, before the scan loop
   live.reserve(num_tasks);
   for (int t = 0; t < num_tasks; ++t) {
     PF_CHECK_EQ(static_cast<int>(representations[t].size()), m);
     std::copy(representations[t].begin(), representations[t].end(),
               observations[t].begin());
+    // lint: allow(hot-path-alloc): reserved above; fills the setup worklist
     live.push_back(t);
   }
 

@@ -76,7 +76,9 @@ class FsProblem {
  private:
   Table table_;
   FsProblemConfig config_;
-  Rng rng_;
+  // Root stream for splits/subsampling; serial-only (see rng-escape in
+  // pafeat-analyze).
+  Rng rng_;  // analyze: root-rng
   TrainTestSplit split_;
   Standardizer standardizer_;
   Matrix std_features_;

@@ -35,6 +35,11 @@ int DqnAgent::Act(const std::vector<float>& observation, Rng* rng,
   return action;
 }
 
+// Steady-state entry point of the batched inference plane: every per-step
+// greedy query in training and serving funnels through here, so it must
+// stay heap-quiet (arena scratch only) — enforced by pafeat-analyze
+// (hot-path-alloc).
+// analyze: hot-path-root
 void DqnAgent::ActBatch(int rows, const float* observations,
                         int* actions) const {
   PF_CHECK_GT(rows, 0);

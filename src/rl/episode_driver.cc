@@ -24,6 +24,7 @@ void EpisodeDriver::StartFrom(const EnvState& state,
   random_policy_ = random_policy;
 }
 
+// analyze: hot-path-root
 bool EpisodeDriver::PlanStep(float epsilon) {
   PF_DCHECK(!env_.Done());
   PF_DCHECK_LT(pending_action_, 0);
@@ -41,9 +42,9 @@ bool EpisodeDriver::PlanStep(float epsilon) {
   return true;
 }
 
+// analyze: hot-path-root
 void EpisodeDriver::WriteObservation(float* row) const {
-  const std::vector<float> observation = env_.Observation();
-  std::copy(observation.begin(), observation.end(), row);
+  env_.ObservationInto(row);
 }
 
 void EpisodeDriver::SetPlannedAction(int action) {

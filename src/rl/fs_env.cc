@@ -43,18 +43,26 @@ bool FeatureSelectionEnv::Done() const {
          MaskCount(state_.mask) >= max_selectable_;
 }
 
+void FeatureSelectionEnv::ObservationForInto(const EnvState& state,
+                                             float* out) const {
+  float* cursor = std::copy(task_representation_.begin(),
+                            task_representation_.end(), out);
+  for (uint8_t bit : state.mask) *cursor++ = bit ? 1.0f : 0.0f;
+  *cursor++ = static_cast<float>(state.position) / num_features_;
+  *cursor++ = state.position < num_features_
+                  ? task_representation_[state.position]
+                  : 0.0f;
+  *cursor++ = static_cast<float>(MaskCount(state.mask)) / num_features_;
+}
+
+void FeatureSelectionEnv::ObservationInto(float* out) const {
+  ObservationForInto(state_, out);
+}
+
 std::vector<float> FeatureSelectionEnv::ObservationFor(
     const EnvState& state) const {
-  std::vector<float> obs;
-  obs.reserve(observation_dim());
-  obs.insert(obs.end(), task_representation_.begin(),
-             task_representation_.end());
-  for (uint8_t bit : state.mask) obs.push_back(bit ? 1.0f : 0.0f);
-  obs.push_back(static_cast<float>(state.position) / num_features_);
-  obs.push_back(state.position < num_features_
-                    ? task_representation_[state.position]
-                    : 0.0f);
-  obs.push_back(static_cast<float>(MaskCount(state.mask)) / num_features_);
+  std::vector<float> obs(observation_dim());
+  ObservationForInto(state, obs.data());
   return obs;
 }
 

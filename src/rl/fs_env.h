@@ -58,6 +58,12 @@ class FeatureSelectionEnv {
   std::vector<float> Observation() const;
   // Dense observation of an arbitrary state of this environment/task.
   std::vector<float> ObservationFor(const EnvState& state) const;
+  // Allocation-free variants for the steady-state stepping path: write the
+  // observation_dim() floats directly into a caller-provided row (usually a
+  // slice of the iteration's batch matrix). Bit-identical to the vector
+  // forms — same layout [repr | mask | position | repr[pos] | selected].
+  void ObservationInto(float* out) const;
+  void ObservationForInto(const EnvState& state, float* out) const;
 
   // Applies `action` to the feature at the current scan position and returns
   // the reward (per `reward_mode`). Requires !Done().

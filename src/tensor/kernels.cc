@@ -210,6 +210,9 @@ void RunRowPanels(GemmFn core, int panels, int m, int n, int p,
   const int rows_per =
       ((m + panels - 1) / panels + kPanelAlign - 1) / kPanelAlign *
       kPanelAlign;
+  // When the caller is already on a pool worker this degrades to an inline
+  // (serial) GEMM — correct either way, and the panel split is deterministic.
+  // lint: allow(pool-reentrancy): panel fan-out degrades inline under nesting
   ThreadPool::Global()->ParallelFor(panels, panels, [&](int index) {
     const int i0 = index * rows_per;
     const int rows = std::min(rows_per, m - i0);
@@ -345,6 +348,9 @@ void GemmGatherNN(int m, int n, const float* a, int lda, const int* cols,
   const int rows_per =
       ((m + panels - 1) / panels + kPanelAlign - 1) / kPanelAlign *
       kPanelAlign;
+  // When the caller is already on a pool worker this degrades to an inline
+  // (serial) GEMM — correct either way, and the panel split is deterministic.
+  // lint: allow(pool-reentrancy): panel fan-out degrades inline under nesting
   ThreadPool::Global()->ParallelFor(panels, panels, [&](int index) {
     const int i0 = index * rows_per;
     const int rows = std::min(rows_per, m - i0);

@@ -44,6 +44,22 @@ bool ParsePragma(const std::string& body, Pragma* out) {
   return true;
 }
 
+// Parses "analyze: <text>" out of a comment body. Unlike pragmas the body is
+// free-form; the indexer interprets known annotation names and ignores the
+// rest, so a typo'd annotation shows up as "annotation never attached"
+// during analyzer bring-up instead of silently doing nothing in the lexer.
+bool ParseAnnotation(const std::string& body, Annotation* out) {
+  std::size_t pos = body.find("analyze:");
+  if (pos == std::string::npos) return false;
+  pos += 8;
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  out->text = body.substr(pos);
+  while (!out->text.empty() && out->text.back() == ' ') {
+    out->text.pop_back();
+  }
+  return !out->text.empty();
+}
+
 class Lexer {
  public:
   explicit Lexer(const std::string& content) : src_(content) {}
@@ -94,14 +110,35 @@ class Lexer {
   void LineComment() {
     const int line = line_;
     const bool standalone = !line_has_token_;
+    const std::size_t start = pos_ + 2;
     std::size_t end = src_.find('\n', pos_);
+    // Phase-2 line splicing happens before comments are recognized: a
+    // backslash immediately before the newline drags the next physical line
+    // into the comment. Miss this and rules fire on "code" that the
+    // compiler never sees.
+    while (end != std::string::npos) {
+      std::size_t back = end;
+      if (back > start && src_[back - 1] == '\r') --back;
+      if (back > start && src_[back - 1] == '\\') {
+        ++line_;
+        end = src_.find('\n', end + 1);
+      } else {
+        break;
+      }
+    }
     if (end == std::string::npos) end = src_.size();
-    const std::string body = src_.substr(pos_ + 2, end - pos_ - 2);
+    const std::string body = src_.substr(start, end - start);
     Pragma pragma;
     if (ParsePragma(body, &pragma)) {
       pragma.line = line;
       pragma.standalone = standalone;
       result_.pragmas.push_back(pragma);
+    }
+    Annotation annotation;
+    if (ParseAnnotation(body, &annotation)) {
+      annotation.line = line;
+      annotation.standalone = standalone;
+      result_.annotations.push_back(annotation);
     }
     pos_ = end;  // the '\n' is handled by the main loop
   }

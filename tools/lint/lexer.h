@@ -34,9 +34,20 @@ struct Pragma {
   std::string justification;
 };
 
+// An `// analyze: <text>` comment — the semantic pass's annotation channel
+// (e.g. `// analyze: root-rng` on a member declaration, or
+// `// analyze: hot-path-root` above a function definition). The lexer only
+// records them; tools/lint/index.cc decides what they attach to.
+struct Annotation {
+  int line = 0;             // line the comment sits on
+  bool standalone = false;  // comment is the only thing on its line
+  std::string text;         // body after "analyze:", trimmed
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Pragma> pragmas;
+  std::vector<Annotation> annotations;
 };
 
 // Tokenizes `content` (the text of `path`, used only for diagnostics).

@@ -1,0 +1,167 @@
+// Direct unit tests for the shared lint/analyze lexer. The rule self-tests
+// cover it indirectly, but the lexer now feeds two stages (token rules and
+// the cross-TU semantic index), so the tricky lexical corners get pinned
+// down here: raw-string delimiters, line splices inside comments, adjacent
+// string literals, and the pragma/annotation comment channels.
+
+#include "lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pafeat_lint {
+namespace {
+
+const Token* FindToken(const LexResult& r, const std::string& text) {
+  for (const Token& t : r.tokens) {
+    if (t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LexerTest, RawStringCustomDelimiter) {
+  // The closer is )xy" — a plain )" inside the literal must not end it.
+  const LexResult r =
+      Lex("t.cc", "auto s = R\"xy(a \"quote\" and )\" inside)xy\" + 1;\n");
+  const Token* str = nullptr;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kString) {
+      EXPECT_EQ(str, nullptr) << "exactly one string literal expected";
+      str = &t;
+    }
+  }
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "a \"quote\" and )\" inside");
+  // The tokens after the literal survive intact.
+  EXPECT_NE(FindToken(r, "+"), nullptr);
+  EXPECT_NE(FindToken(r, "1"), nullptr);
+}
+
+TEST(LexerTest, RawStringEmptyDelimiterStopsAtFirstCloser) {
+  const LexResult r = Lex("t.cc", "auto s = R\"(abc)\";\nint tail = 0;\n");
+  const Token* str = FindToken(r, "abc");
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->kind, TokKind::kString);
+  EXPECT_NE(FindToken(r, "tail"), nullptr);
+}
+
+TEST(LexerTest, RawStringKeepsLineNumbersAcrossNewlines) {
+  const LexResult r =
+      Lex("t.cc", "auto s = R\"(line1\nline2\nline3)\";\nint after = 0;\n");
+  const Token* after = FindToken(r, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 4);
+  // Rule passes must never see the literal's content as code.
+  EXPECT_EQ(FindToken(r, "line2"), nullptr);
+}
+
+TEST(LexerTest, LineSpliceContinuesLineComment) {
+  // The backslash-newline splices the second physical line into the
+  // comment; rand() there is commentary, not code.
+  const LexResult r = Lex("t.cc",
+                          "int a = 1;  // trailing comment \\\n"
+                          "rand();\n"
+                          "int b = 2;\n");
+  EXPECT_EQ(FindToken(r, "rand"), nullptr);
+  const Token* b = FindToken(r, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->line, 3);
+}
+
+TEST(LexerTest, LineSpliceChainsAcrossSeveralLines) {
+  const LexResult r = Lex("t.cc",
+                          "// one \\\n"
+                          "two \\\n"
+                          "three\n"
+                          "int x = 0;\n");
+  EXPECT_EQ(FindToken(r, "two"), nullptr);
+  EXPECT_EQ(FindToken(r, "three"), nullptr);
+  const Token* x = FindToken(r, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->line, 4);
+}
+
+TEST(LexerTest, PpDirectiveJoinsContinuations) {
+  const LexResult r = Lex("t.cc",
+                          "#define STEP(i) \\\n"
+                          "  DoStep(i)\n"
+                          "int y = 0;\n");
+  ASSERT_FALSE(r.tokens.empty());
+  EXPECT_EQ(r.tokens[0].kind, TokKind::kPpDirective);
+  // Continuation lines are part of the directive token, not code.
+  EXPECT_NE(r.tokens[0].text.find("DoStep"), std::string::npos);
+  EXPECT_EQ(FindToken(r, "DoStep"), nullptr);
+  const Token* y = FindToken(r, "y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->line, 3);
+}
+
+TEST(LexerTest, AdjacentStringLiteralsStaySeparateTokens) {
+  const LexResult r = Lex("t.cc", "const char* s = \"abc\" \"def\";\n");
+  std::vector<std::string> strings;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kString) strings.push_back(t.text);
+  }
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0], "abc");
+  EXPECT_EQ(strings[1], "def");
+}
+
+TEST(LexerTest, EscapedQuoteDoesNotEndStringLiteral) {
+  const LexResult r = Lex("t.cc", "const char* s = \"a\\\"b\"; int z;\n");
+  const Token* str = nullptr;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kString) str = &t;
+  }
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "a\\\"b");
+  EXPECT_NE(FindToken(r, "z"), nullptr);
+}
+
+TEST(LexerTest, CommentBodiesProduceNoTokens) {
+  const LexResult r =
+      Lex("t.cc", "// rand() mt19937\n/* std::thread t; */\nint k;\n");
+  EXPECT_EQ(FindToken(r, "rand"), nullptr);
+  EXPECT_EQ(FindToken(r, "thread"), nullptr);
+  const Token* k = FindToken(r, "k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->line, 3);
+}
+
+TEST(LexerTest, TwoCharPunctsAreSingleTokens) {
+  const LexResult r = Lex("t.cc", "a->b; c::d;\n");
+  EXPECT_NE(FindToken(r, "->"), nullptr);
+  EXPECT_NE(FindToken(r, "::"), nullptr);
+}
+
+TEST(LexerTest, PragmaCaptureTrailingAndStandalone) {
+  const LexResult r = Lex("t.cc",
+                          "// lint: allow(raw-thread): stress harness\n"
+                          "std::thread t;  // lint: allow(raw-thread)\n");
+  ASSERT_EQ(r.pragmas.size(), 2u);
+  EXPECT_EQ(r.pragmas[0].rule, "raw-thread");
+  EXPECT_EQ(r.pragmas[0].justification, "stress harness");
+  EXPECT_TRUE(r.pragmas[0].standalone);
+  EXPECT_EQ(r.pragmas[1].line, 2);
+  EXPECT_FALSE(r.pragmas[1].standalone);
+  EXPECT_TRUE(r.pragmas[1].justification.empty());
+}
+
+TEST(LexerTest, AnnotationCaptureTrailingAndStandalone) {
+  const LexResult r = Lex("t.cc",
+                          "// analyze: hot-path-root\n"
+                          "void Step() {}\n"
+                          "Rng rng_;  // analyze: root-rng\n");
+  ASSERT_EQ(r.annotations.size(), 2u);
+  EXPECT_EQ(r.annotations[0].text, "hot-path-root");
+  EXPECT_TRUE(r.annotations[0].standalone);
+  EXPECT_EQ(r.annotations[0].line, 1);
+  EXPECT_EQ(r.annotations[1].text, "root-rng");
+  EXPECT_FALSE(r.annotations[1].standalone);
+  EXPECT_EQ(r.annotations[1].line, 3);
+}
+
+}  // namespace
+}  // namespace pafeat_lint

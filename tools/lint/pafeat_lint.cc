@@ -28,8 +28,11 @@
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 //
 // Usage:
-//   pafeat-lint [--root DIR] [--format=human|machine] [--list-rules]
+//   pafeat-lint [--root DIR] [--format=human|machine|sarif] [--list-rules]
 //               [--self-test] [DIR_OR_FILE...]
+//
+// The cross-TU semantic stage lives in the sibling binary pafeat-analyze
+// (same lexer, same pragma machinery); see pafeat_analyze.cc.
 
 #include <algorithm>
 #include <filesystem>
@@ -41,6 +44,7 @@
 #include <vector>
 
 #include "rules.h"
+#include "sarif.h"
 
 namespace pafeat_lint {
 namespace {
@@ -85,7 +89,7 @@ void CollectFiles(const fs::path& target, std::vector<fs::path>* files) {
 }
 
 int LintFiles(const std::vector<fs::path>& files, const std::string& format) {
-  int total = 0;
+  std::vector<Finding> all;
   for (const fs::path& path : files) {
     FileInput input;
     input.display_path = NormalizePath(path);
@@ -102,26 +106,30 @@ int LintFiles(const std::vector<fs::path>& files, const std::string& format) {
       header.replace_extension(".h");
       if (fs::exists(header)) ReadFile(header, &input.companion_content);
     }
-    for (const Finding& f : RunRules(input)) {
-      ++total;
-      if (format == "machine") {
-        std::cout << f.file << ":" << f.line << " " << f.rule << "\n";
-      } else {
-        std::cout << f.file << ":" << f.line << ": error: [" << f.rule << "] "
-                  << f.message << "\n";
-        if (!f.hint.empty()) std::cout << "  hint: " << f.hint << "\n";
-      }
+    for (Finding& f : RunRules(input)) all.push_back(std::move(f));
+  }
+  if (format == "sarif") {
+    std::cout << ToSarif("pafeat-lint", all);
+    return all.empty() ? 0 : 1;
+  }
+  for (const Finding& f : all) {
+    if (format == "machine") {
+      std::cout << f.file << ":" << f.line << " " << f.rule << "\n";
+    } else {
+      std::cout << f.file << ":" << f.line << ": error: [" << f.rule << "] "
+                << f.message << "\n";
+      if (!f.hint.empty()) std::cout << "  hint: " << f.hint << "\n";
     }
   }
   if (format != "machine") {
-    if (total == 0) {
+    if (all.empty()) {
       std::cout << "pafeat-lint: " << files.size() << " files clean\n";
     } else {
-      std::cout << "pafeat-lint: " << total << " finding(s) across "
+      std::cout << "pafeat-lint: " << all.size() << " finding(s) across "
                 << files.size() << " files\n";
     }
   }
-  return total == 0 ? 0 : 1;
+  return all.empty() ? 0 : 1;
 }
 
 // --- self test -------------------------------------------------------------
@@ -327,12 +335,13 @@ int Run(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "human" && format != "machine") {
+      if (format != "human" && format != "machine" && format != "sarif") {
         std::cerr << "pafeat-lint: unknown format '" << format << "'\n";
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pafeat-lint [--root DIR] [--format=human|machine]"
+      std::cout << "usage: pafeat-lint [--root DIR] "
+                   "[--format=human|machine|sarif]"
                    " [--list-rules] [--self-test] [DIR_OR_FILE...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {

@@ -1,0 +1,105 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace pafeat_lint {
+namespace {
+
+// JSON string escaping for the subset of content findings carry (paths,
+// messages, rule ids) — control chars, quotes, backslashes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::string& tool_name,
+                    const std::vector<Finding>& findings) {
+  // Rule metadata: one reportingDescriptor per distinct rule id seen.
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) rule_ids.insert(f.rule);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"" << JsonEscape(tool_name) << "\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/pafeat/tools/lint\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    out << (first ? "\n" : ",\n")
+        << "            {\"id\": \"" << JsonEscape(id) << "\"}";
+    first = false;
+  }
+  out << (rule_ids.empty() ? "]\n" : "\n          ]\n")
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    std::string text = f.message;
+    if (!f.hint.empty()) text += " | hint: " + f.hint;
+    out << (first ? "\n" : ",\n")
+        << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(text)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << f.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+    first = false;
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace pafeat_lint

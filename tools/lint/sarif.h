@@ -1,0 +1,20 @@
+#ifndef PAFEAT_TOOLS_LINT_SARIF_H_
+#define PAFEAT_TOOLS_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace pafeat_lint {
+
+// Renders findings as a minimal SARIF 2.1.0 log (one run, one tool, one
+// result per finding) so CI systems and editors that ingest SARIF can show
+// both the token stage and the semantic stage from a single artifact.
+// `tool_name` is "pafeat-lint" or "pafeat-analyze".
+std::string ToSarif(const std::string& tool_name,
+                    const std::vector<Finding>& findings);
+
+}  // namespace pafeat_lint
+
+#endif  // PAFEAT_TOOLS_LINT_SARIF_H_
