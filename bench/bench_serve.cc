@@ -1,0 +1,271 @@
+// Offered-load sweep over the SelectionServer (DESIGN.md "Selection serving
+// plane"): client fan-ins of 1 / 8 / 64 against the fp32 and int8 tiers,
+// reporting tasks/sec, p50/p99 request latency, mean coalesced batch width,
+// and the throughput multiple over the sequential baseline (the same
+// requests one at a time through CheckpointedSelector — the pre-server
+// serving path). The acceptance bar: >= 2x tasks/sec at 8+ concurrent
+// clients. On a single-core host the entire win is batching efficiency —
+// one weight-matrix stream serving many coalesced scan rows — so the
+// multiple tracks the batched-vs-single-row step-inference ratio
+// (BENCH_batch.json), not the core count.
+//
+// --json_out writes a machine-readable trajectory (frozen seed copy:
+// bench/baselines/BENCH_serve_seed.json); numbers are tagged with the
+// active SIMD capability level and are not comparable across levels.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/checkpoint.h"
+#include "nn/dueling_net.h"
+#include "rl/fs_env.h"
+#include "serve/selection_server.h"
+#include "tensor/kernels.h"
+
+namespace pafeat {
+namespace {
+
+struct ScenarioResult {
+  std::string tier;
+  int clients = 0;  // 0 = sequential baseline
+  double tasks_per_sec = 0.0;
+  double speedup_vs_sequential = 1.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch_width = 1.0;
+};
+
+AgentCheckpoint MakeBenchCheckpoint(int m, uint64_t seed) {
+  AgentCheckpoint checkpoint;
+  checkpoint.net_config.input_dim = 2 * m + 3;
+  checkpoint.net_config.num_actions = kNumActions;
+  checkpoint.max_feature_ratio = 0.5;
+  Rng rng(seed);
+  DuelingNet net(checkpoint.net_config, &rng);
+  checkpoint.parameters = net.SerializeParams();
+  return checkpoint;
+}
+
+std::vector<std::vector<float>> MakeRepresentations(int count, int m,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> reprs;
+  reprs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::vector<float> repr(m);
+    for (float& value : repr) {
+      value = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    reprs.push_back(std::move(repr));
+  }
+  return reprs;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const double rank = p * (values->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values->size() - 1);
+  const double frac = rank - lo;
+  return (*values)[lo] * (1.0 - frac) + (*values)[hi] * frac;
+}
+
+ScenarioResult RunSequentialBaseline(
+    const AgentCheckpoint& checkpoint, const ServeConfig& serve,
+    const std::vector<std::vector<float>>& reprs, int requests) {
+  const CheckpointedSelector selector(checkpoint, serve);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(requests);
+  WallTimer wall;
+  for (int i = 0; i < requests; ++i) {
+    WallTimer request_timer;
+    const FeatureMask mask =
+        selector.SelectForRepresentation(reprs[i % reprs.size()]);
+    latencies_us.push_back(request_timer.ElapsedSeconds() * 1e6);
+    if (mask.empty()) std::abort();  // keep the selection observable
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  ScenarioResult result;
+  result.tier = serve.quantized ? "int8" : "fp32";
+  result.clients = 0;
+  result.tasks_per_sec = requests / elapsed;
+  result.p50_us = Percentile(&latencies_us, 0.50);
+  result.p99_us = Percentile(&latencies_us, 0.99);
+  return result;
+}
+
+ScenarioResult RunServerScenario(
+    const AgentCheckpoint& checkpoint, const ServerConfig& config,
+    const std::vector<std::vector<float>>& reprs, int clients,
+    int requests) {
+  SelectionServer server(checkpoint, config);
+  const int per_client = std::max(1, requests / clients);
+  std::mutex latency_mutex;
+  std::vector<double> latencies_us;
+  std::atomic<uint64_t> failures{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> my_latencies;
+      my_latencies.reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(c) * per_client + i) % reprs.size();
+        const SelectionResponse response = server.Select(reprs[idx]);
+        if (response.status != AdmissionStatus::kOk) {
+          failures.fetch_add(1);
+          continue;
+        }
+        my_latencies.push_back(response.stats.total_us);
+      }
+      std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies_us.insert(latencies_us.end(), my_latencies.begin(),
+                          my_latencies.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = wall.ElapsedSeconds();
+  server.Shutdown();
+  if (failures.load() != 0) {
+    std::cerr << "bench_serve: " << failures.load()
+              << " requests rejected — results invalid\n";
+    std::abort();
+  }
+  const ServerStats stats = server.Stats();
+  ScenarioResult result;
+  result.tier = config.serve.quantized ? "int8" : "fp32";
+  result.clients = clients;
+  result.tasks_per_sec =
+      static_cast<double>(stats.completed) / elapsed;
+  result.p50_us = Percentile(&latencies_us, 0.50);
+  result.p99_us = Percentile(&latencies_us, 0.99);
+  result.mean_batch_width = stats.MeanBatchWidth();
+  return result;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+void WriteJson(const std::string& path, int m, int requests,
+               const ServerConfig& config,
+               const std::vector<ScenarioResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_serve: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"context\": {\n"
+      << "    \"simd\": \""
+      << kernels::SimdCapabilityName(kernels::ActiveSimdCapability())
+      << "\",\n"
+      << "    \"num_cpus\": "
+      << static_cast<int>(std::thread::hardware_concurrency()) << ",\n"
+      << "    \"num_features\": " << m << ",\n"
+      << "    \"requests\": " << requests << ",\n"
+      << "    \"max_batch\": " << config.max_batch << ",\n"
+      << "    \"max_wait_us\": " << config.max_wait_us << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << "    {\n      \"name\": \"BM_Serve/" << r.tier << "/clients:"
+        << r.clients << "\",\n"
+        << "      \"clients\": " << r.clients << ",\n"
+        << "      \"tasks_per_sec\": " << FormatDouble(r.tasks_per_sec, 2)
+        << ",\n"
+        << "      \"speedup_vs_sequential\": "
+        << FormatDouble(r.speedup_vs_sequential, 3) << ",\n"
+        << "      \"p50_us\": " << FormatDouble(r.p50_us, 1) << ",\n"
+        << "      \"p99_us\": " << FormatDouble(r.p99_us, 1) << ",\n"
+        << "      \"mean_batch_width\": "
+        << FormatDouble(r.mean_batch_width, 2) << "\n    }"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int Main(int argc, char** argv) {
+  int features = 1020;  // the paper's widest dataset (obs_dim 2043)
+  int requests = 64;
+  int max_batch = 64;
+  int max_wait_us = 200;
+  bool skip_quantized = false;
+  std::string json_out;
+
+  FlagSet flags;
+  flags.AddInt("features", &features, "feature count m (obs dim 2m + 3)");
+  flags.AddInt("requests", &requests, "total selection requests per scenario");
+  flags.AddInt("max_batch", &max_batch, "widest coalesced forward pass");
+  flags.AddInt("max_wait_us", &max_wait_us, "lone-arrival coalescing wait");
+  flags.AddBool("skip_quantized", &skip_quantized,
+                "only sweep the fp32 tier");
+  flags.AddString("json_out", &json_out,
+                  "write the machine-readable trajectory here");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const AgentCheckpoint checkpoint = MakeBenchCheckpoint(features, 0xbe7c);
+  const std::vector<std::vector<float>> reprs =
+      MakeRepresentations(32, features, 0x5eed);
+
+  std::cout << "bench_serve: m=" << features << " (obs_dim "
+            << 2 * features + 3 << "), " << requests
+            << " requests per scenario, max_batch=" << max_batch
+            << ", simd="
+            << kernels::SimdCapabilityName(kernels::ActiveSimdCapability())
+            << "\n\n";
+
+  std::vector<ScenarioResult> results;
+  TablePrinter table({"tier", "clients", "tasks/sec", "vs sequential",
+                      "p50 (us)", "p99 (us)", "mean width"});
+  ServerConfig config;
+  config.max_batch = max_batch;
+  config.max_wait_us = max_wait_us;
+  for (const bool quantized : {false, true}) {
+    if (quantized && skip_quantized) continue;
+    config.serve.quantized = quantized;
+    ScenarioResult sequential =
+        RunSequentialBaseline(checkpoint, config.serve, reprs, requests);
+    results.push_back(sequential);
+    table.AddRow({sequential.tier, "sequential",
+                  FormatDouble(sequential.tasks_per_sec, 2), "1.000",
+                  FormatDouble(sequential.p50_us, 1),
+                  FormatDouble(sequential.p99_us, 1), "1.00"});
+    for (const int clients : {1, 8, 64}) {
+      ScenarioResult r =
+          RunServerScenario(checkpoint, config, reprs, clients, requests);
+      r.speedup_vs_sequential = r.tasks_per_sec / sequential.tasks_per_sec;
+      results.push_back(r);
+      table.AddRow({r.tier, std::to_string(clients),
+                    FormatDouble(r.tasks_per_sec, 2),
+                    FormatDouble(r.speedup_vs_sequential, 3),
+                    FormatDouble(r.p50_us, 1), FormatDouble(r.p99_us, 1),
+                    FormatDouble(r.mean_batch_width, 2)});
+    }
+  }
+  std::cout << table.ToText();
+  if (!json_out.empty()) WriteJson(json_out, features, requests, config, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pafeat
+
+int main(int argc, char** argv) { return pafeat::Main(argc, argv); }

@@ -117,3 +117,20 @@ if [ ! -f bench/baselines/BENCH_shard_seed.json ]; then
   cp bench/baselines/BENCH_shard.json bench/baselines/BENCH_shard_seed.json
   echo "froze bench/baselines/BENCH_shard_seed.json"
 fi
+
+echo "===================================================================="
+echo "== Selection serving plane -> bench/baselines/BENCH_serve.json"
+echo "===================================================================="
+# Offered-load sweep over the SelectionServer: 1/8/64 concurrent clients x
+# fp32/int8 tiers at m=1020 (obs_dim 2043), tasks/sec + p50/p99 latency vs
+# the sequential CheckpointedSelector baseline. Acceptance (DESIGN.md
+# "Selection serving plane"): >= 2x tasks/sec at 8+ concurrent clients on
+# the fp32 tier — on a single-core host the entire multiple is coalescing
+# efficiency (the batched step-inference ratio), ~2.6-2.7x at width ~7.
+# The int8 tier starts from a ~3x faster sequential floor, so its coalescing
+# multiple is smaller (~1.6x). Seed freeze: BENCH_serve_seed.json.
+build/bench/bench_serve --json_out=bench/baselines/BENCH_serve.json
+if [ ! -f bench/baselines/BENCH_serve_seed.json ]; then
+  cp bench/baselines/BENCH_serve.json bench/baselines/BENCH_serve_seed.json
+  echo "froze bench/baselines/BENCH_serve_seed.json"
+fi

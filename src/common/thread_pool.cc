@@ -153,4 +153,15 @@ void ThreadPool::EnsureGlobalWorkers(int num_workers) {
                            std::memory_order_release);
 }
 
+DedicatedThread::~DedicatedThread() { Join(); }
+
+void DedicatedThread::Start(std::function<void()> fn) {
+  PF_CHECK(!thread_.joinable()) << "DedicatedThread started twice";
+  thread_ = std::thread(std::move(fn));
+}
+
+void DedicatedThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 }  // namespace pafeat

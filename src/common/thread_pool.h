@@ -99,6 +99,40 @@ class ThreadPool {
   std::atomic<int> num_workers_{0};
 };
 
+// A single long-lived thread for loops that cannot be expressed as pool
+// jobs: ParallelFor distributes bounded index ranges and blocks until they
+// drain, but a serving loop (src/serve/SelectionServer) runs until shutdown
+// and must never hold a pool worker hostage. Living in this TU keeps the
+// raw-thread lint rule meaningful — every thread in the process is still
+// constructed behind src/common/thread_pool.*.
+//
+// The owner is responsible for making the loop function return (e.g. via a
+// shutdown flag + condition variable) before Join()/destruction; Join
+// blocks until it does. Determinism note: a dedicated thread is outside the
+// ParallelFor index-distribution contract — whatever runs on it must manage
+// its own ordering (the SelectionServer serializes all episode state on
+// this one thread, which is exactly how it stays deterministic).
+class DedicatedThread {
+ public:
+  DedicatedThread() = default;
+  ~DedicatedThread();
+
+  DedicatedThread(const DedicatedThread&) = delete;
+  DedicatedThread& operator=(const DedicatedThread&) = delete;
+
+  // Launches `fn` on the dedicated thread. Must be called at most once, and
+  // only while no thread is running (PF_CHECK'd).
+  void Start(std::function<void()> fn);
+
+  // Blocks until the loop function returns. Idempotent; safe without Start.
+  void Join();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+};
+
 }  // namespace pafeat
 
 #endif  // PAFEAT_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "rl/fs_env.h"
 
 namespace pafeat {
 namespace {
@@ -61,13 +62,29 @@ bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
 }
 
 std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
+  return LoadCheckpoint(path, nullptr);
+}
+
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + " (" + path + ")";
+    return std::optional<AgentCheckpoint>();
+  };
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return fail("cannot open checkpoint file");
   uint32_t magic = 0;
   uint32_t version = 0;
-  if (!ReadScalar(in, &magic) || magic != kMagic) return std::nullopt;
-  if (!ReadScalar(in, &version) || version < 1 || version > kVersion) {
-    return std::nullopt;
+  if (!ReadScalar(in, &magic) || magic != kMagic) {
+    return fail("not a PA-FEAT checkpoint (bad magic)");
+  }
+  if (!ReadScalar(in, &version) || version < 1) {
+    return fail("corrupt checkpoint header (bad format version)");
+  }
+  if (version > kVersion) {
+    return fail("checkpoint format version " + std::to_string(version) +
+                " is newer than this binary understands (max " +
+                std::to_string(kVersion) + ")");
   }
 
   AgentCheckpoint checkpoint;
@@ -75,11 +92,17 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
   int32_t num_actions = 0;
   uint8_t extra_layer = 0;
   int32_t num_hidden = 0;
-  if (!ReadScalar(in, &input_dim) || input_dim <= 0) return std::nullopt;
-  if (!ReadScalar(in, &num_actions) || num_actions <= 1) return std::nullopt;
-  if (!ReadScalar(in, &extra_layer)) return std::nullopt;
+  if (!ReadScalar(in, &input_dim) || input_dim <= 0) {
+    return fail("truncated or corrupt checkpoint (input dim)");
+  }
+  if (!ReadScalar(in, &num_actions) || num_actions <= 1) {
+    return fail("truncated or corrupt checkpoint (action count)");
+  }
+  if (!ReadScalar(in, &extra_layer)) {
+    return fail("truncated checkpoint (rescale-layer flag)");
+  }
   if (!ReadScalar(in, &num_hidden) || num_hidden <= 0 || num_hidden > 64) {
-    return std::nullopt;
+    return fail("truncated or corrupt checkpoint (trunk layer count)");
   }
   checkpoint.net_config.input_dim = input_dim;
   checkpoint.net_config.num_actions = num_actions;
@@ -87,39 +110,75 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
   checkpoint.net_config.trunk_hidden.clear();
   for (int i = 0; i < num_hidden; ++i) {
     int32_t h = 0;
-    if (!ReadScalar(in, &h) || h <= 0) return std::nullopt;
+    if (!ReadScalar(in, &h) || h <= 0) {
+      return fail("truncated or corrupt checkpoint (trunk layer dims)");
+    }
     checkpoint.net_config.trunk_hidden.push_back(h);
   }
   if (version >= 2) {
     // A format byte this binary does not know means a payload it cannot
     // parse — reject rather than misread (version 1 had no byte: fp32).
-    if (!ReadScalar(in, &checkpoint.weight_format) ||
-        checkpoint.weight_format != kWeightFormatFp32) {
-      return std::nullopt;
+    if (!ReadScalar(in, &checkpoint.weight_format)) {
+      return fail("truncated checkpoint (weight-format byte)");
+    }
+    if (checkpoint.weight_format != kWeightFormatFp32) {
+      return fail("unknown weight format " +
+                  std::to_string(checkpoint.weight_format));
     }
   } else {
     checkpoint.weight_format = kWeightFormatFp32;
   }
-  if (!ReadScalar(in, &checkpoint.max_feature_ratio) ||
-      checkpoint.max_feature_ratio <= 0.0 ||
-      checkpoint.max_feature_ratio > 1.0) {
-    return std::nullopt;
+  if (!ReadScalar(in, &checkpoint.max_feature_ratio)) {
+    return fail("truncated checkpoint (max feature ratio)");
   }
   uint64_t param_count = 0;
   if (!ReadScalar(in, &param_count) || param_count == 0 ||
       param_count > (1ull << 31)) {
-    return std::nullopt;
+    return fail("truncated or corrupt checkpoint (parameter count)");
   }
   checkpoint.parameters.resize(param_count);
   in.read(reinterpret_cast<char*>(checkpoint.parameters.data()),
           static_cast<std::streamsize>(param_count * sizeof(float)));
-  if (!in) return std::nullopt;
+  if (!in) return fail("truncated checkpoint payload");
 
+  // The decoded checkpoint must pass the same consistency screen a served
+  // publish does (parameter fit, valid ratio, serving action layout).
+  const std::string inconsistency = CheckpointConsistencyError(checkpoint);
+  if (!inconsistency.empty()) return fail(inconsistency);
+  return checkpoint;
+}
+
+std::string CheckpointConsistencyError(const AgentCheckpoint& checkpoint) {
+  const DuelingNetConfig& net = checkpoint.net_config;
+  if (checkpoint.weight_format != kWeightFormatFp32) {
+    return "unsupported weight format " +
+           std::to_string(checkpoint.weight_format);
+  }
+  if (net.input_dim < 5 || (net.input_dim - 3) % 2 != 0) {
+    return "input dim " + std::to_string(net.input_dim) +
+           " is not a valid observation layout (2m + 3)";
+  }
+  if (net.num_actions != kNumActions) {
+    return "action count " + std::to_string(net.num_actions) +
+           " does not match the select/deselect serving plane";
+  }
+  if (net.trunk_hidden.empty()) return "empty trunk architecture";
+  for (int h : net.trunk_hidden) {
+    if (h <= 0) return "non-positive trunk layer width";
+  }
+  if (!(checkpoint.max_feature_ratio > 0.0) ||
+      checkpoint.max_feature_ratio > 1.0) {
+    return "max feature ratio outside (0, 1]";
+  }
   // The parameter vector must exactly fit the architecture.
   Rng probe_rng(0);
-  DuelingNet probe(checkpoint.net_config, &probe_rng);
-  if (probe.NumParams() != static_cast<int>(param_count)) return std::nullopt;
-  return checkpoint;
+  DuelingNet probe(net, &probe_rng);
+  if (probe.NumParams() != static_cast<int>(checkpoint.parameters.size())) {
+    return "parameter count " + std::to_string(checkpoint.parameters.size()) +
+           " does not fit the architecture (expected " +
+           std::to_string(probe.NumParams()) + ")";
+  }
+  return "";
 }
 
 QuantizedDuelingNet QuantizeCheckpoint(const AgentCheckpoint& checkpoint) {
@@ -131,11 +190,12 @@ QuantizedDuelingNet QuantizeCheckpoint(const AgentCheckpoint& checkpoint) {
 CheckpointedSelector::CheckpointedSelector(const AgentCheckpoint& checkpoint,
                                            const ServeConfig& serve)
     : max_feature_ratio_(checkpoint.max_feature_ratio) {
+  const std::string inconsistency = CheckpointConsistencyError(checkpoint);
+  PF_CHECK(inconsistency.empty())
+      << "internally inconsistent checkpoint: " << inconsistency;
   Rng rng(0);
   net_ = std::make_unique<DuelingNet>(checkpoint.net_config, &rng);
-  PF_CHECK(net_->DeserializeParams(checkpoint.parameters))
-      << "checkpoint parameter count does not match the architecture";
-  PF_CHECK_EQ((net_->config().input_dim - 3) % 2, 0);
+  PF_CHECK(net_->DeserializeParams(checkpoint.parameters));
   if (serve.quantized) {
     quantized_net_ =
         std::make_unique<QuantizedDuelingNet>(QuantizeCheckpoint(checkpoint));
@@ -143,8 +203,9 @@ CheckpointedSelector::CheckpointedSelector(const AgentCheckpoint& checkpoint,
 }
 
 std::optional<CheckpointedSelector> CheckpointedSelector::FromFile(
-    const std::string& path, const ServeConfig& serve) {
-  const std::optional<AgentCheckpoint> checkpoint = LoadCheckpoint(path);
+    const std::string& path, const ServeConfig& serve, std::string* error) {
+  const std::optional<AgentCheckpoint> checkpoint =
+      LoadCheckpoint(path, error);
   if (!checkpoint.has_value()) return std::nullopt;
   return CheckpointedSelector(*checkpoint, serve);
 }

@@ -42,6 +42,22 @@ bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
                     const std::string& path);
 std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path);
 
+// Status-returning load for serving control planes (the SelectionServer's
+// PublishCheckpoint path must reject a bad file without dying): on failure,
+// `error` (when non-null) receives a one-line reason — missing file, bad
+// magic, format version newer than this binary, truncated payload, unknown
+// weight format, or a parameter vector that does not fit the architecture.
+// The plain overload above wraps this one with error == nullptr.
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
+                                              std::string* error);
+
+// Serving-side validation of an in-memory checkpoint: returns "" exactly
+// when the PF_CHECK constructors below would accept it, else the reason.
+// Never dies — this is the check a long-lived server runs before swapping
+// in a published checkpoint (a misuse that must surface as a rejected
+// publish, not a dead serving process).
+std::string CheckpointConsistencyError(const AgentCheckpoint& checkpoint);
+
 // One-shot post-training quantization pass (DESIGN.md "Quantized serving
 // tier"): per-output-row symmetric int8 weights from the checkpoint's fp32
 // parameters. Dies (PF_CHECK) on a non-fp32 weight format or a parameter
@@ -59,8 +75,11 @@ class CheckpointedSelector {
   explicit CheckpointedSelector(const AgentCheckpoint& checkpoint,
                                 const ServeConfig& serve = {});
 
+  // Surfaces I/O and corruption as nullopt; `error` (when non-null)
+  // receives the LoadCheckpoint failure reason.
   static std::optional<CheckpointedSelector> FromFile(
-      const std::string& path, const ServeConfig& serve = {});
+      const std::string& path, const ServeConfig& serve = {},
+      std::string* error = nullptr);
 
   // Greedy subset for an unseen task's representation.
   FeatureMask SelectForRepresentation(

@@ -7,14 +7,61 @@
 #include "rl/fs_env.h"
 
 namespace pafeat {
+
+void GreedyScanState::Bind(const float* representation, int m,
+                           double max_feature_ratio, float* observation,
+                           FeatureMask* mask) {
+  PF_DCHECK_GT(m, 0);
+  PF_DCHECK_GT(max_feature_ratio, 0.0);
+  PF_DCHECK_EQ(static_cast<int>(mask->size()), m);
+  representation_ = representation;
+  observation_ = observation;
+  mask_ = mask;
+  m_ = m;
+  position_ = 0;
+  selected_ = 0;
+  max_selectable_ = std::max(1, static_cast<int>(max_feature_ratio * m));
+  std::copy(representation, representation + m, observation);
+  std::fill(observation + m, observation + 2 * m + 3, 0.0f);
+  std::fill(mask->begin(), mask->end(), static_cast<uint8_t>(0));
+}
+
+void GreedyScanState::EmitObservationRow(float* row_out) {
+  observation_[2 * m_] = static_cast<float>(position_) / m_;
+  observation_[2 * m_ + 1] = representation_[position_];
+  observation_[2 * m_ + 2] = static_cast<float>(selected_) / m_;
+  std::copy(observation_, observation_ + 2 * m_ + 3, row_out);
+}
+
+void GreedyScanState::ApplyDecision(const float* q_row) {
+  if (q_row[kActionSelect] > q_row[kActionDeselect]) {
+    (*mask_)[position_] = 1;
+    observation_[m_ + position_] = 1.0f;
+    ++selected_;
+  }
+  ++position_;
+}
+
+void GreedyScanState::FinalizeFallback() {
+  if (selected_ > 0) return;
+  int best = 0;
+  for (int f = 1; f < m_; ++f) {
+    if (representation_[f] > representation_[best]) best = f;
+  }
+  (*mask_)[best] = 1;
+}
+
 namespace {
 
 // The lock-step scan, shared by the fp32 and quantized tiers. `Net` only
 // needs config() (input_dim, num_actions == kNumActions) and a
-// PredictBatchInto with DuelingNet's signature.
+// PredictBatchInto with DuelingNet's signature. All per-request mechanics
+// (observation layout, decision rule, retirement, fallback) live in
+// GreedyScanState — the same machine the SelectionServer drives with
+// continuous batching, so the two paths cannot drift.
 //
 // This is the greedy serving tier's steady state: after the per-request
-// setup below, the position loop must not touch the heap.
+// setup below, the scan loop must not touch the heap.
 // analyze: hot-path-root
 template <typename Net>
 std::vector<FeatureMask> GreedyScan(
@@ -26,21 +73,19 @@ std::vector<FeatureMask> GreedyScan(
   PF_CHECK_GT(m, 0);
   PF_CHECK_EQ(net.config().input_dim, 2 * m + 3);
   PF_CHECK_GT(max_feature_ratio, 0.0);
-  const int max_selectable =
-      std::max(1, static_cast<int>(max_feature_ratio * m));
   const int obs_dim = 2 * m + 3;
 
   std::vector<std::vector<float>> observations(
       num_tasks, std::vector<float>(obs_dim, 0.0f));
   std::vector<FeatureMask> masks(num_tasks, FeatureMask(m, 0));
-  std::vector<int> selected(num_tasks, 0);
+  std::vector<GreedyScanState> states(num_tasks);
   std::vector<int> live;
   // lint: allow(hot-path-alloc): per-request setup, before the scan loop
   live.reserve(num_tasks);
   for (int t = 0; t < num_tasks; ++t) {
     PF_CHECK_EQ(static_cast<int>(representations[t].size()), m);
-    std::copy(representations[t].begin(), representations[t].end(),
-              observations[t].begin());
+    states[t].Bind(representations[t].data(), m, max_feature_ratio,
+                   observations[t].data(), &masks[t]);
     // lint: allow(hot-path-alloc): reserved above; fills the setup worklist
     live.push_back(t);
   }
@@ -53,43 +98,23 @@ std::vector<FeatureMask> GreedyScan(
       arena->Alloc(static_cast<std::size_t>(num_tasks) * obs_dim);
   float* q =
       arena->Alloc(static_cast<std::size_t>(num_tasks) * kNumActions);
-  for (int position = 0; position < m && !live.empty(); ++position) {
+  while (!live.empty()) {
     const int rows = static_cast<int>(live.size());
     for (int r = 0; r < rows; ++r) {
-      const int t = live[r];
-      std::vector<float>& observation = observations[t];
-      observation[2 * m] = static_cast<float>(position) / m;
-      observation[2 * m + 1] = representations[t][position];
-      observation[2 * m + 2] = static_cast<float>(selected[t]) / m;
-      std::copy(observation.begin(), observation.end(),
-                batch + static_cast<std::size_t>(r) * obs_dim);
+      states[live[r]].EmitObservationRow(
+          batch + static_cast<std::size_t>(r) * obs_dim);
     }
-    // One forward pass decides this position for every live task.
+    // One forward pass decides this step for every live task.
     net.PredictBatchInto(rows, batch, arena, q);
     for (int r = 0; r < rows; ++r) {
-      const int t = live[r];
-      const float* q_row = q + static_cast<std::size_t>(r) * kNumActions;
-      if (q_row[kActionSelect] > q_row[kActionDeselect]) {
-        masks[t][position] = 1;
-        observations[t][m + position] = 1.0f;
-        ++selected[t];
-      }
+      states[live[r]].ApplyDecision(
+          q + static_cast<std::size_t>(r) * kNumActions);
     }
     live.erase(std::remove_if(live.begin(), live.end(),
-                              [&](int t) {
-                                return selected[t] >= max_selectable;
-                              }),
+                              [&](int t) { return states[t].ScanDone(); }),
                live.end());
   }
-  for (int t = 0; t < num_tasks; ++t) {
-    if (selected[t] > 0) continue;
-    const std::vector<float>& representation = representations[t];
-    int best = 0;
-    for (int f = 1; f < m; ++f) {
-      if (representation[f] > representation[best]) best = f;
-    }
-    masks[t][best] = 1;
-  }
+  for (int t = 0; t < num_tasks; ++t) states[t].FinalizeFallback();
   return masks;
 }
 

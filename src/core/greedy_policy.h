@@ -21,6 +21,69 @@ struct ServeConfig {
   bool quantized = false;
 };
 
+// Resumable per-request greedy-scan state (DESIGN.md "Selection serving
+// plane"): one task's position in the left-to-right feature scan, factored
+// out of GreedySelectSubsets so requests of different ages can join and
+// leave a shared forward-pass batch at step boundaries — the
+// SelectionServer's continuous batching. The observation layout, decision
+// rule, retirement rule and empty-subset fallback live here and only here;
+// the standalone batch scan and the server both drive this class, so the
+// fp32 bit-identity contract (row r of a batched forward == the standalone
+// single-row scan) extends structurally to any mix of concurrently
+// coalesced peers.
+//
+// The state machine is net-agnostic: it emits observation rows and consumes
+// Q-value rows, so the fp32 and int8 tiers share it by construction.
+// Every method is allocation-free — all storage is caller-owned — which is
+// what lets server request slots be rebound without heap churn on the
+// serving loop's hot path.
+class GreedyScanState {
+ public:
+  GreedyScanState() = default;
+
+  // Binds to caller-owned storage and rewinds to position 0 / empty subset.
+  // `observation` must hold 2m+3 floats (layout [repr(m) | mask(m) | pos/m |
+  // repr[pos] | selected/m]) and `mask` must already have size m; both are
+  // fully (re)initialized here. `representation` must stay alive until the
+  // scan finishes (servers hold the blocked caller's vector).
+  void Bind(const float* representation, int m, double max_feature_ratio,
+            float* observation, FeatureMask* mask);
+
+  // True once the scan has retired: position ran off the end or the
+  // selection budget is exhausted (Algorithm 1 line 10).
+  bool ScanDone() const {
+    return position_ >= m_ || selected_ >= max_selectable_;
+  }
+
+  // Refreshes the position-dependent tail fields and copies the observation
+  // row (2m+3 floats) into `row_out` — one row of the coalesced forward
+  // batch. Requires !ScanDone().
+  void EmitObservationRow(float* row_out);
+
+  // Applies the greedy select/deselect decision for the current position
+  // from this request's row of the shared forward pass (kNumActions floats),
+  // then advances the scan.
+  void ApplyDecision(const float* q_row);
+
+  // After the scan retires: if the greedy pass selected nothing, selects the
+  // single most task-relevant feature (a usable selector never returns the
+  // empty subset). Idempotent; no-op when anything was selected.
+  void FinalizeFallback();
+
+  int position() const { return position_; }
+  int selected_count() const { return selected_; }
+  int max_selectable() const { return max_selectable_; }
+
+ private:
+  const float* representation_ = nullptr;
+  float* observation_ = nullptr;
+  FeatureMask* mask_ = nullptr;
+  int m_ = 0;
+  int position_ = 0;
+  int selected_ = 0;
+  int max_selectable_ = 0;
+};
+
 // The unseen-task execution path shared by the live trainer and restored
 // checkpoints (Algorithm 1 lines 22-24): one greedy scan of the Q-network
 // over the task representation, bounded by the max feature ratio. If the

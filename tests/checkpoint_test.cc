@@ -67,6 +67,12 @@ TEST_F(CheckpointTest, RoundTripPreservesSelections) {
 
 TEST_F(CheckpointTest, LoadRejectsMissingFile) {
   EXPECT_FALSE(LoadCheckpoint("/nonexistent/agent.ckpt").has_value());
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint("/nonexistent/agent.ckpt", &error).has_value());
+  EXPECT_NE(error.find("cannot open checkpoint file"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("/nonexistent/agent.ckpt"), std::string::npos)
+      << error;
 }
 
 TEST_F(CheckpointTest, LoadRejectsCorruptedMagic) {
@@ -137,7 +143,11 @@ TEST_F(CheckpointTest, LoadRejectsFutureVersion) {
   std::string bytes = ReadAll(path);
   bytes[4] = 3;  // a version this binary does not know
   WriteAll(path, bytes);
-  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("format version 3 is newer than this binary"),
+            std::string::npos)
+      << error;
   std::remove(path.c_str());
 }
 
@@ -148,7 +158,10 @@ TEST_F(CheckpointTest, LoadRejectsUnknownWeightFormat) {
   std::string bytes = ReadAll(path);
   bytes[WeightFormatOffset(checkpoint)] = 7;  // not kWeightFormatFp32
   WriteAll(path, bytes);
-  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("unknown weight format 7"), std::string::npos)
+      << error;
   std::remove(path.c_str());
 }
 
@@ -157,8 +170,45 @@ TEST_F(CheckpointTest, LoadRejectsParameterCountMismatch) {
   checkpoint.parameters.pop_back();
   const std::string path = TempPath();
   ASSERT_TRUE(SaveCheckpoint(checkpoint, path));
-  EXPECT_FALSE(LoadCheckpoint(path).has_value());
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("does not fit the architecture"), std::string::npos)
+      << error;
   std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadRejectsTruncatedPayloadWithReason) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(*feat_), path));
+  std::string bytes = ReadAll(path);
+  bytes.resize(bytes.size() - 16);  // chop the parameter payload's tail
+  WriteAll(path, bytes);
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("truncated checkpoint payload"), std::string::npos)
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ConsistencyErrorScreensServingMisuse) {
+  const AgentCheckpoint good = MakeCheckpoint(*feat_);
+  EXPECT_EQ(CheckpointConsistencyError(good), "");
+
+  AgentCheckpoint bad_dim = good;
+  bad_dim.net_config.input_dim = 24;  // not 2m + 3
+  EXPECT_NE(CheckpointConsistencyError(bad_dim).find("observation layout"),
+            std::string::npos);
+
+  AgentCheckpoint bad_actions = good;
+  bad_actions.net_config.num_actions = 3;
+  EXPECT_NE(CheckpointConsistencyError(bad_actions).find("action count"),
+            std::string::npos);
+
+  AgentCheckpoint bad_ratio = good;
+  bad_ratio.max_feature_ratio = 0.0;
+  EXPECT_NE(
+      CheckpointConsistencyError(bad_ratio).find("max feature ratio"),
+      std::string::npos);
 }
 
 TEST(MultiRunTest, SummarizeBasics) {

@@ -13,8 +13,11 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "core/defaults.h"
 #include "core/feat.h"
+#include "nn/dueling_net.h"
+#include "serve/selection_server.h"
 #include "data/feature_mask.h"
 #include "data/synthetic.h"
 #include "ml/masked_dnn.h"
@@ -316,6 +319,103 @@ TEST(ConcurrencyStressTest, ShardedCollectionRendezvousStress) {
               sharded.task_runtime(slot).buffer->num_transitions())
         << "slot " << slot;
   }
+}
+
+AgentCheckpoint MakeServingStressCheckpoint(int m, uint64_t seed) {
+  AgentCheckpoint checkpoint;
+  checkpoint.net_config.input_dim = 2 * m + 3;
+  checkpoint.net_config.num_actions = 2;
+  checkpoint.net_config.trunk_hidden = {24, 24};
+  checkpoint.max_feature_ratio = 0.5;
+  Rng rng(seed);
+  DuelingNet net(checkpoint.net_config, &rng);
+  checkpoint.parameters = net.SerializeParams();
+  return checkpoint;
+}
+
+// The serving plane's full rendezvous under contention: many tenants
+// hammer Select while a publisher hot-swaps checkpoints out from under
+// them. Every response must carry a subset bit-identical to the standalone
+// scan of the version it reports — a swap may move a request between
+// generations but may never mix them — and the bookkeeping must balance.
+// Under TSan this exercises every serving-plane handshake at once:
+// admission vs the loop, retirement vs blocked tenants, publish vs drain.
+TEST(ConcurrencyStressTest, ServingRendezvousStress) {
+  constexpr int kM = 12;
+  constexpr int kReprs = 8;
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 40;
+  constexpr int kPublishes = 5;
+
+  std::vector<AgentCheckpoint> generations;
+  for (int v = 0; v <= kPublishes; ++v) {
+    generations.push_back(MakeServingStressCheckpoint(kM, 0x5e41 + v));
+  }
+  std::vector<std::vector<float>> reprs;
+  Rng repr_rng(0x7777);
+  for (int i = 0; i < kReprs; ++i) {
+    std::vector<float> repr(kM);
+    for (float& value : repr) {
+      value = static_cast<float>(repr_rng.Uniform(-1.0, 1.0));
+    }
+    reprs.push_back(std::move(repr));
+  }
+  // expected[v][i]: the standalone subset for repr i under generation v
+  // (version v + 1 — the server numbers its initial bundle 1).
+  std::vector<std::vector<FeatureMask>> expected;
+  for (const AgentCheckpoint& checkpoint : generations) {
+    const CheckpointedSelector standalone(checkpoint);
+    std::vector<FeatureMask> row;
+    for (const std::vector<float>& repr : reprs) {
+      row.push_back(standalone.SelectForRepresentation(repr));
+    }
+    expected.push_back(std::move(row));
+  }
+
+  ServerConfig config;
+  config.max_batch = 4;  // force queue/coalesce churn under load
+  SelectionServer server(generations[0], config);
+
+  std::atomic<int> failures{0};
+  // lint: allow(raw-thread): tenants and publisher must race unmanaged
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int idx = (c * kRequestsPerClient + i) % kReprs;
+        const SelectionResponse response = server.Select(reprs[idx]);
+        if (response.status != AdmissionStatus::kOk) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const uint64_t generation = response.stats.net_version - 1;
+        if (generation >= expected.size() ||
+            response.mask != expected[generation][idx]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // lint: allow(raw-thread): the publisher races the tenants above
+  std::thread publisher([&] {
+    for (int v = 1; v <= kPublishes; ++v) {
+      ASSERT_TRUE(server.PublishCheckpoint(generations[v]));
+      std::this_thread::yield();
+    }
+  });
+  // lint: allow(raw-thread): joining the stress threads spawned above
+  for (std::thread& client : clients) client.join();
+  publisher.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.swaps_applied, static_cast<uint64_t>(kPublishes));
+  EXPECT_EQ(stats.net_version, static_cast<uint64_t>(kPublishes) + 1);
+  EXPECT_EQ(stats.queued_now, 0);
+  EXPECT_EQ(stats.live_now, 0);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -73,6 +75,41 @@ TEST(ThreadPoolTest, GlobalPoolGrowsButNeverShrinks) {
   std::atomic<int> sum{0};
   ThreadPool::Global()->ParallelFor(100, 8, [&](int i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(DedicatedThreadTest, RunsLoopUntilToldToStopAndJoinIsIdempotent) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  int ticks = 0;
+  DedicatedThread loop;
+  EXPECT_FALSE(loop.running());
+  loop.Start([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++ticks;
+    cv.notify_all();
+    while (!stop) cv.wait(lock);
+  });
+  EXPECT_TRUE(loop.running());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ticks >= 1; });  // loop is alive and parked
+    stop = true;
+  }
+  cv.notify_all();
+  loop.Join();
+  EXPECT_FALSE(loop.running());
+  EXPECT_EQ(ticks, 1);
+  loop.Join();  // idempotent after the thread is gone
+}
+
+TEST(DedicatedThreadTest, DestructorJoinsAnUnjoinedThread) {
+  std::atomic<bool> ran{false};
+  {
+    DedicatedThread loop;
+    loop.Start([&] { ran.store(true); });
+  }  // ~DedicatedThread must join, not terminate
+  EXPECT_TRUE(ran.load());
 }
 
 }  // namespace
