@@ -32,6 +32,7 @@
 #include "data/csv.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
+#include "memory/budget.h"
 
 using namespace pafeat;
 
@@ -79,9 +80,19 @@ int RunDemo(const std::string& data_path) {
   return 0;
 }
 
+// Converts a --max_cache_mb / --replay_budget_mb flag value to the budget
+// convention of memory/budget.h: negative leaves the resolution chain
+// untouched, 0 is an explicit "unlimited", positive is megabytes.
+long long BudgetMbToBytes(int mb) {
+  if (mb < 0) return kMemoryBudgetDefault;
+  if (mb == 0) return kMemoryBudgetUnlimited;
+  return static_cast<long long>(mb) * 1024 * 1024;
+}
+
 int RunTrain(const Table& table, const std::string& labels_csv,
              const std::string& out_path, int iterations, double mfr,
-             int seed, int num_threads, int num_shards) {
+             int seed, int num_threads, int num_shards, int max_cache_mb,
+             int replay_budget_mb) {
   std::vector<int> seen;
   for (const std::string& raw : Split(labels_csv, ',')) {
     const int index = LabelIndexByName(table, Trim(raw));
@@ -97,12 +108,14 @@ int RunTrain(const Table& table, const std::string& labels_csv,
     return 1;
   }
 
-  FsProblem problem(table, DefaultProblemConfig(),
-                    static_cast<uint64_t>(seed));
+  FsProblemConfig problem_config = DefaultProblemConfig();
+  problem_config.reward_cache_budget_bytes = BudgetMbToBytes(max_cache_mb);
+  FsProblem problem(table, problem_config, static_cast<uint64_t>(seed));
   PaFeatConfig config;
   config.feat = DefaultFeatOptions(iterations,
                                    static_cast<uint64_t>(seed) + 1).feat;
   config.feat.max_feature_ratio = mfr;
+  config.feat.replay_budget_bytes = BudgetMbToBytes(replay_budget_mb);
   if (num_threads < 1) {
     std::fprintf(stderr, "--num_threads must be >= 1\n");
     return 1;
@@ -218,6 +231,8 @@ int main(int argc, char** argv) {
   int seed = 7;
   int num_threads = 1;
   int num_shards = 1;
+  int max_cache_mb = -1;
+  int replay_budget_mb = -1;
   int arff_labels = 1;
   bool quantized = false;
   FlagSet flags;
@@ -233,6 +248,12 @@ int main(int argc, char** argv) {
                "train: episode threads (results are identical at any value)");
   flags.AddInt("num_shards", &num_shards,
                "train: collector shards (results are identical at any value)");
+  flags.AddInt("max_cache_mb", &max_cache_mb,
+               "train: per-task reward-cache budget in MB (0 = unlimited, "
+               "-1 = default chain; results are identical at any budget)");
+  flags.AddInt("replay_budget_mb", &replay_budget_mb,
+               "train: per-task replay-buffer budget in MB (0 = unlimited, "
+               "-1 = default chain)");
   flags.AddInt("arff_labels", &arff_labels,
                "ARFF: number of trailing label attributes");
   flags.AddBool("quantized", &quantized,
@@ -250,7 +271,7 @@ int main(int argc, char** argv) {
   }
   if (command == "train") {
     return RunTrain(*table, labels, out, iterations, mfr, seed, num_threads,
-                    num_shards);
+                    num_shards, max_cache_mb, replay_budget_mb);
   }
   if (command == "select") {
     return RunSelect(*table, label, agent, seed, quantized);

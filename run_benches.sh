@@ -119,6 +119,33 @@ if [ ! -f bench/baselines/BENCH_shard_seed.json ]; then
 fi
 
 echo "===================================================================="
+echo "== Bounded memory plane -> bench/baselines/BENCH_memory.json"
+echo "===================================================================="
+# The tiered reward cache's hit path and epoch-close sweep, trajectory
+# appends through the sharded replay store, and fig7-scale iterations with
+# binding cache+replay budgets (BM_IterationBounded/1, 64KB cache + 256KB
+# replay per task, nonzero evictions counter) vs unlimited
+# (BM_IterationBounded/0); both legs warm up 40 iterations untimed so
+# hit_rate is the steady-state figure. Acceptance (DESIGN.md "Bounded
+# memory plane"): the bounded leg's cache_bytes/replay_bytes counters pin
+# at the budget while its hit_rate retains >= 90% of the unbounded leg's —
+# bounded memory without giving back the memoization win (the absolute
+# rate either way, ~0.7-0.8, is the policy's residual exploration, not a
+# capacity effect). The first run's numbers are frozen in
+# bench/baselines/BENCH_memory_seed.json.
+build/bench/bench_micro \
+  --benchmark_filter='BM_RewardCache|BM_ReplayStore|BM_IterationBounded' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out=bench/baselines/BENCH_memory.json > /dev/null 2>&1 \
+  && echo "wrote bench/baselines/BENCH_memory.json"
+if [ ! -f bench/baselines/BENCH_memory_seed.json ]; then
+  cp bench/baselines/BENCH_memory.json bench/baselines/BENCH_memory_seed.json
+  echo "froze bench/baselines/BENCH_memory_seed.json"
+fi
+
+echo "===================================================================="
 echo "== Selection serving plane -> bench/baselines/BENCH_serve.json"
 echo "===================================================================="
 # Offered-load sweep over the SelectionServer: 1/8/64 concurrent clients x

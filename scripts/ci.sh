@@ -20,7 +20,11 @@
 #             per-level test entry points
 #   asan      scripts/check.sh asan  (ASan + UBSan + checked assertions),
 #             with PAFEAT_SERVE_QUANTIZED=1 so the quantized-serving sweep
-#             widens to its extended seed set under instrumentation
+#             widens to its extended seed set under instrumentation, and
+#             PAFEAT_CACHE_BUDGET=65536 so every reward cache that doesn't
+#             set an explicit budget runs under a binding ~64KB ceiling —
+#             the clock-sweep eviction and slab-reuse paths churn
+#             continuously while ASan watches the freed slots
 #   tsan      scripts/check.sh tsan  (ThreadSanitizer), with
 #             PAFEAT_SHARD_STRESS_SHARDS=4 so the shard rendezvous stress
 #             runs the sharded collector fan-out at num_shards=4 — several
@@ -73,7 +77,7 @@ forced_generic_step() {
 # PAFEAT_SERVE_QUANTIZED=1 widens QuantizedServingSweepTest to its full seed
 # set, so the int8 tier's buffers get their widest exercise under ASan.
 asan_step() {
-  PAFEAT_SERVE_QUANTIZED=1 scripts/check.sh asan
+  PAFEAT_SERVE_QUANTIZED=1 PAFEAT_CACHE_BUDGET=65536 scripts/check.sh asan
 }
 
 # Semantic analyzer leg: reuses the release tree's binary (built above).

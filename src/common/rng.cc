@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -108,6 +109,22 @@ Rng Rng::Fork(uint64_t path_hi, uint64_t path_lo) {
   s = key ^ path_lo;
   key = SplitMix64(&s);
   return Fork(key);
+}
+
+std::array<uint64_t, 6> Rng::SaveState() const {
+  std::array<uint64_t, 6> state;
+  for (int i = 0; i < 4; ++i) state[i] = state_[i];
+  state[4] = has_cached_normal_ ? 1 : 0;
+  uint64_t cached_bits = 0;
+  std::memcpy(&cached_bits, &cached_normal_, sizeof(cached_bits));
+  state[5] = cached_bits;
+  return state;
+}
+
+void Rng::LoadState(const std::array<uint64_t, 6>& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  has_cached_normal_ = state[4] != 0;
+  std::memcpy(&cached_normal_, &state[5], sizeof(cached_normal_));
 }
 
 }  // namespace pafeat

@@ -1,6 +1,7 @@
 #ifndef PAFEAT_COMMON_RNG_H_
 #define PAFEAT_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,13 @@ class Rng {
   // paths land on well-separated streams and (a, b) never collides with
   // (b, a) the way a plain XOR of the keys would.
   Rng Fork(uint64_t path_hi, uint64_t path_lo);
+
+  // The complete generator state as six words — the xoshiro state, the
+  // cached-normal flag and the bit-cast cached normal — so a warm-resumed
+  // run (checkpoint v3) continues the stream exactly where the saved run
+  // stopped.
+  std::array<uint64_t, 6> SaveState() const;
+  void LoadState(const std::array<uint64_t, 6>& state);
 
  private:
   uint64_t state_[4];

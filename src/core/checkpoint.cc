@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "rl/fs_env.h"
@@ -12,9 +13,15 @@ namespace {
 
 constexpr uint32_t kMagic = 0x50414643;  // "PAFC"
 // Version 2 added the weight-format byte after the net-config block.
-// Version 1 files (implicitly fp32) remain loadable; anything newer than
-// kVersion is rejected — an old binary must never misparse a future layout.
+// Version 3 appends the training-state section (SaveTrainingCheckpoint);
+// the agent layout is unchanged, so plain SaveCheckpoint keeps writing
+// version 2 and plain LoadCheckpoint reads a v3 file's agent section and
+// ignores the trailer. Version 1 files (implicitly fp32) remain loadable;
+// anything newer than kMaxVersion is rejected — an old binary must never
+// misparse a future layout.
 constexpr uint32_t kVersion = 2;
+constexpr uint32_t kTrainingVersion = 3;
+constexpr uint32_t kMaxVersion = 3;
 
 template <typename T>
 void WriteScalar(std::ostream& out, T value) {
@@ -27,22 +34,12 @@ bool ReadScalar(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-}  // namespace
-
-AgentCheckpoint MakeCheckpoint(const Feat& feat) {
-  AgentCheckpoint checkpoint;
-  checkpoint.net_config = feat.agent().online_net().config();
-  checkpoint.max_feature_ratio = feat.config().max_feature_ratio;
-  checkpoint.parameters = feat.agent().online_net().SerializeParams();
-  return checkpoint;
-}
-
-bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
-                    const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+// Shared agent section of every format version. `why` receives the
+// unprefixed failure reason (callers add the path).
+void WriteAgentSection(std::ostream& out, const AgentCheckpoint& checkpoint,
+                       uint32_t version) {
   WriteScalar(out, kMagic);
-  WriteScalar(out, kVersion);
+  WriteScalar(out, version);
   WriteScalar(out, static_cast<int32_t>(checkpoint.net_config.input_dim));
   WriteScalar(out, static_cast<int32_t>(checkpoint.net_config.num_actions));
   WriteScalar(out, static_cast<uint8_t>(
@@ -58,21 +55,15 @@ bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
   out.write(reinterpret_cast<const char*>(checkpoint.parameters.data()),
             static_cast<std::streamsize>(checkpoint.parameters.size() *
                                          sizeof(float)));
-  return static_cast<bool>(out);
 }
 
-std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
-  return LoadCheckpoint(path, nullptr);
-}
-
-std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
-                                              std::string* error) {
-  const auto fail = [&](const std::string& why) {
-    if (error != nullptr) *error = why + " (" + path + ")";
+std::optional<AgentCheckpoint> ParseAgentSection(std::istream& in,
+                                                 uint32_t* version_out,
+                                                 std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    *why = reason;
     return std::optional<AgentCheckpoint>();
   };
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return fail("cannot open checkpoint file");
   uint32_t magic = 0;
   uint32_t version = 0;
   if (!ReadScalar(in, &magic) || magic != kMagic) {
@@ -81,11 +72,12 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
   if (!ReadScalar(in, &version) || version < 1) {
     return fail("corrupt checkpoint header (bad format version)");
   }
-  if (version > kVersion) {
+  if (version > kMaxVersion) {
     return fail("checkpoint format version " + std::to_string(version) +
                 " is newer than this binary understands (max " +
-                std::to_string(kVersion) + ")");
+                std::to_string(kMaxVersion) + ")");
   }
+  *version_out = version;
 
   AgentCheckpoint checkpoint;
   int32_t input_dim = 0;
@@ -146,6 +138,122 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
   const std::string inconsistency = CheckpointConsistencyError(checkpoint);
   if (!inconsistency.empty()) return fail(inconsistency);
   return checkpoint;
+}
+
+}  // namespace
+
+AgentCheckpoint MakeCheckpoint(const Feat& feat) {
+  AgentCheckpoint checkpoint;
+  checkpoint.net_config = feat.agent().online_net().config();
+  checkpoint.max_feature_ratio = feat.config().max_feature_ratio;
+  checkpoint.parameters = feat.agent().online_net().SerializeParams();
+  return checkpoint;
+}
+
+bool SaveCheckpoint(const AgentCheckpoint& checkpoint,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  WriteAgentSection(out, checkpoint, kVersion);
+  return static_cast<bool>(out);
+}
+
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path) {
+  return LoadCheckpoint(path, nullptr);
+}
+
+std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open checkpoint file (" + path + ")";
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  std::string why;
+  std::optional<AgentCheckpoint> checkpoint =
+      ParseAgentSection(in, &version, &why);
+  // A v3 trailer (training state) is deliberately ignored here: the serving
+  // path never pays for it.
+  if (!checkpoint.has_value() && error != nullptr) {
+    *error = why + " (" + path + ")";
+  }
+  return checkpoint;
+}
+
+TrainingCheckpoint MakeTrainingCheckpoint(const PaFeat& pafeat) {
+  TrainingCheckpoint checkpoint;
+  checkpoint.agent = MakeCheckpoint(pafeat.feat());
+  checkpoint.training_state = pafeat.SerializeTrainingState();
+  return checkpoint;
+}
+
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  WriteAgentSection(out, checkpoint.agent, kTrainingVersion);
+  WriteScalar(out, static_cast<uint8_t>(
+                       checkpoint.has_training_state() ? 1 : 0));
+  WriteScalar(out, static_cast<uint64_t>(checkpoint.training_state.size()));
+  out.write(reinterpret_cast<const char*>(checkpoint.training_state.data()),
+            static_cast<std::streamsize>(checkpoint.training_state.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + " (" + path + ")";
+    return std::optional<TrainingCheckpoint>();
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open checkpoint file");
+  uint32_t version = 0;
+  std::string why;
+  std::optional<AgentCheckpoint> agent =
+      ParseAgentSection(in, &version, &why);
+  if (!agent.has_value()) return fail(why);
+  TrainingCheckpoint checkpoint;
+  checkpoint.agent = std::move(*agent);
+  if (version < kTrainingVersion) return checkpoint;  // cold: params only
+  uint8_t has_training = 0;
+  uint64_t blob_size = 0;
+  if (!ReadScalar(in, &has_training) || !ReadScalar(in, &blob_size)) {
+    return fail("truncated checkpoint (training-state header)");
+  }
+  if (has_training == 0) {
+    if (blob_size != 0) {
+      return fail("corrupt checkpoint (phantom training-state payload)");
+    }
+    return checkpoint;
+  }
+  if (blob_size == 0 || blob_size > (1ull << 33)) {
+    return fail("truncated or corrupt checkpoint (training-state size)");
+  }
+  checkpoint.training_state.resize(blob_size);
+  in.read(reinterpret_cast<char*>(checkpoint.training_state.data()),
+          static_cast<std::streamsize>(blob_size));
+  if (!in) return fail("truncated checkpoint (training-state payload)");
+  return checkpoint;
+}
+
+bool RestoreTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                               PaFeat* pafeat, std::string* error) {
+  PF_CHECK(pafeat != nullptr);
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::string inconsistency =
+      CheckpointConsistencyError(checkpoint.agent);
+  if (!inconsistency.empty()) return fail(inconsistency);
+  if (!pafeat->feat().agent().online_net().DeserializeParams(
+          checkpoint.agent.parameters)) {
+    return fail("online parameters do not fit this architecture");
+  }
+  if (!checkpoint.has_training_state()) return true;  // cold resume
+  return pafeat->RestoreTrainingState(checkpoint.training_state, error);
 }
 
 std::string CheckpointConsistencyError(const AgentCheckpoint& checkpoint) {

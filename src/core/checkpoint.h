@@ -8,6 +8,7 @@
 
 #include "core/feat.h"
 #include "core/greedy_policy.h"
+#include "core/pafeat.h"
 #include "nn/dueling_net.h"
 #include "nn/quantized_net.h"
 
@@ -50,6 +51,40 @@ std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path);
 // The plain overload above wraps this one with error == nullptr.
 std::optional<AgentCheckpoint> LoadCheckpoint(const std::string& path,
                                               std::string* error);
+
+// Checkpoint format v3 (DESIGN.md "Bounded memory plane"): the v2 agent
+// layout followed by an opaque training-state blob — RNG stream, iteration
+// index, agent target/optimizer/PopArt state, per-task replay trajectories
+// with priorities, reward-cache contents and Experience-Trees — so
+// FurtherTrain resumes warm instead of refilling its buffers from scratch.
+// SaveCheckpoint keeps writing version 2 (serving consumers never pay for
+// training state); v1/v2 files load here with an empty blob (cold resume).
+struct TrainingCheckpoint {
+  AgentCheckpoint agent;
+  std::vector<std::uint8_t> training_state;  // empty = cold (v1/v2 file)
+
+  bool has_training_state() const { return !training_state.empty(); }
+};
+
+// Snapshot of a mid-training PA-FEAT run (online parameters + training
+// state).
+TrainingCheckpoint MakeTrainingCheckpoint(const PaFeat& pafeat);
+
+// Binary (de)serialization of the v3 format. Save returns false on I/O
+// failure; Load accepts v1-v3 files and surfaces corruption through `error`
+// exactly like LoadCheckpoint.
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path);
+std::optional<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path, std::string* error = nullptr);
+
+// Restores a loaded checkpoint into a freshly constructed PaFeat over the
+// same problem and task list: online parameters first, then (when the file
+// carried one) the training-state blob. Returns false with a reason in
+// `error` on any mismatch; the PaFeat must then be discarded. Without a
+// blob the result is a cold resume — parameters only.
+bool RestoreTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                               PaFeat* pafeat, std::string* error);
 
 // Serving-side validation of an in-memory checkpoint: returns "" exactly
 // when the PF_CHECK constructors below would accept it, else the reason.

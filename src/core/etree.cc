@@ -84,4 +84,41 @@ int ETree::NodeVisits(const std::vector<int>& prefix) const {
   return node < 0 ? 0 : nodes_[node].visits;
 }
 
+std::vector<ETree::NodeData> ETree::ExportNodes() const {
+  std::vector<NodeData> nodes;
+  nodes.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    NodeData data;
+    data.child0 = node.children[0];
+    data.child1 = node.children[1];
+    data.visits = node.visits;
+    data.value_sum = node.value_sum;
+    nodes.push_back(data);
+  }
+  return nodes;
+}
+
+bool ETree::ImportNodes(const std::vector<NodeData>& nodes) {
+  nodes_.clear();
+  nodes_.emplace_back();
+  if (nodes.empty()) return true;
+  const int count = static_cast<int>(nodes.size());
+  for (int i = 0; i < count; ++i) {
+    // AddTrajectory only ever appends children, so a valid table is
+    // topologically ordered: every edge points strictly forward.
+    for (const int child : {nodes[i].child0, nodes[i].child1}) {
+      if (child != -1 && (child <= i || child >= count)) return false;
+    }
+    if (nodes[i].visits < 0) return false;
+  }
+  nodes_.resize(count);
+  for (int i = 0; i < count; ++i) {
+    nodes_[i].children[0] = nodes[i].child0;
+    nodes_[i].children[1] = nodes[i].child1;
+    nodes_[i].visits = nodes[i].visits;
+    nodes_[i].value_sum = nodes[i].value_sum;
+  }
+  return true;
+}
+
 }  // namespace pafeat

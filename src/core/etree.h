@@ -42,6 +42,19 @@ class ETree {
   double NodeValue(const std::vector<int>& prefix) const;
   int NodeVisits(const std::vector<int>& prefix) const;
 
+  // Warm-resume persistence (checkpoint v3): the node table in index order
+  // (index 0 is the root). ImportNodes replaces the tree; it validates that
+  // every child index points past its parent into the table (the AddTrajectory
+  // invariant) and returns false — leaving the tree empty — otherwise.
+  struct NodeData {
+    int child0 = -1;
+    int child1 = -1;
+    int visits = 0;
+    double value_sum = 0.0;
+  };
+  std::vector<NodeData> ExportNodes() const;
+  bool ImportNodes(const std::vector<NodeData>& nodes);
+
  private:
   struct Node {
     int children[2] = {-1, -1};

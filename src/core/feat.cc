@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/greedy_policy.h"
 #include "core/its.h"
+#include "core/sitp.h"
 #include "nn/workspace.h"
 #include "rl/episode_driver.h"
 
@@ -54,6 +57,7 @@ Feat::Feat(FsProblem* problem, std::vector<int> seen_label_indices,
 
   PF_CHECK_GE(config_.num_shards, 1);
   PF_CHECK_GE(config_.shard_parallelism, 0);
+  PF_CHECK_GE(config_.replay_shards, 1);
   // The sharded collector runs each shard's own step-synchronous loop; the
   // legacy blocking path has no rendezvous to shard.
   PF_CHECK(config_.num_shards == 1 || config_.batched_inference);
@@ -83,7 +87,11 @@ Feat::Feat(FsProblem* problem, std::vector<int> seen_label_indices,
   Rng agent_rng = rng_.Fork(0xa6e17);
   agent_ = std::make_unique<DqnAgent>(dqn, &agent_rng);
 
-  scheduler_ = std::make_unique<UniformScheduler>();
+  if (config_.success_prioritized_scheduling) {
+    scheduler_ = std::make_unique<SitpScheduler>();
+  } else {
+    scheduler_ = std::make_unique<UniformScheduler>();
+  }
 }
 
 int Feat::AddTask(int label_index) {
@@ -94,14 +102,28 @@ int Feat::AddTask(int label_index) {
   runtime.env = std::make_unique<FeatureSelectionEnv>(
       context.representation, context.evaluator.get(),
       config_.max_feature_ratio, config_.reward_mode);
-  runtime.buffer = std::make_unique<ReplayBuffer>(config_.replay_capacity);
+  ReplayConfig replay;
+  replay.capacity_transitions = config_.replay_capacity;
+  replay.num_shards = config_.replay_shards;
+  replay.prioritized = config_.prioritized_replay;
+  replay.byte_budget = ResolveReplayBudgetBytes(config_.replay_budget_bytes);
+  runtime.buffer = std::make_unique<ReplayBuffer>(replay);
   tasks_.push_back(std::move(runtime));
-  // Fold the evaluator's pre-existing traffic (e.g. the full-feature reward
-  // computed when the task context was built) into the baseline so the first
-  // iteration's delta only counts this instance's episodes.
-  prev_cache_hits_ += context.evaluator->cache_hits();
-  prev_cache_misses_ += context.evaluator->cache_misses();
+  // The training loop drives cache epochs from its own serial point, and
+  // the per-iteration deltas are drained windows: discard whatever traffic
+  // predates this instance (e.g. the full-feature reward computed when the
+  // task context was built) so the first iteration only counts its own
+  // episodes.
+  context.evaluator->SetManualCacheControl(true);
+  context.evaluator->TakeCacheTraffic();
   return static_cast<int>(tasks_.size()) - 1;
+}
+
+int Feat::FindTask(int label_index) const {
+  for (int slot = 0; slot < num_tasks(); ++slot) {
+    if (tasks_[slot].label_index == label_index) return slot;
+  }
+  return -1;
 }
 
 void Feat::SetScheduler(std::unique_ptr<TaskScheduler> scheduler) {
@@ -284,14 +306,7 @@ void Feat::CollectEpisodesSharded(
   // happened serially on the root stream — so both the episode set and
   // every per-episode RNG stream are shard-count-invariant by construction.
   std::vector<ShardPlan> shards(num_shards);
-  // Shard streams fork off a fresh root-seeded generator (not rng_) on the
-  // (iteration, shard) path: reserved draws must not advance the planning
-  // stream, or num_shards would leak into later iterations' plans.
-  Rng shard_root(config_.seed);
-  for (int s = 0; s < num_shards; ++s) {
-    shards[s].shard_id = s;
-    shards[s].rng = shard_root.Fork(iteration_index_, static_cast<uint64_t>(s));
-  }
+  for (int s = 0; s < num_shards; ++s) shards[s].shard_id = s;
   for (int i = 0; i < static_cast<int>(plans.size()); ++i) {
     const int shard = ShardOfEpisode(iteration_index_, i, num_shards);
     shards[shard].plan_indices.push_back(i);
@@ -357,11 +372,31 @@ IterationStats Feat::RunIteration() {
   IterationStats stats;
 
   // --- Buffer Filling Phase (Algorithm 1 lines 4-18) ---
+  // The per-shard RNG streams fork off a fresh root-seeded generator (not
+  // rng_) on the (iteration, shard) path: scheduler draws must not advance
+  // the planning stream, or num_shards would leak into later iterations'
+  // plans. The clamp matches the collection fan-out below, so a scheduler
+  // sees exactly the streams the shards it schedules for will use.
+  const int num_episodes = config_.envs_per_iteration;
+  const int num_shards =
+      std::max(1, std::min(config_.num_shards, num_episodes));
+  std::vector<Rng> shard_streams;
+  shard_streams.reserve(num_shards);
+  Rng shard_root(config_.seed);
+  for (int s = 0; s < num_shards; ++s) {
+    shard_streams.push_back(
+        shard_root.Fork(iteration_index_, static_cast<uint64_t>(s)));
+  }
+
   if (focus_slot_ >= 0) {
     PF_CHECK_LT(focus_slot_, num_tasks());
     last_probabilities_.assign(tasks_.size(), 0.0);
     last_probabilities_[focus_slot_] = 1.0;
   } else {
+    std::vector<Rng*> stream_ptrs;
+    stream_ptrs.reserve(shard_streams.size());
+    for (Rng& stream : shard_streams) stream_ptrs.push_back(&stream);
+    scheduler_->BeginIteration(stream_ptrs);
     last_probabilities_ = scheduler_->Probabilities(tasks_);
   }
   PF_CHECK_EQ(last_probabilities_.size(), tasks_.size());
@@ -371,7 +406,6 @@ IterationStats Feat::RunIteration() {
   // state, per-episode RNG, reward-shaper context), then execute them —
   // possibly on worker threads — and commit the results in plan order.
   // This keeps runs bit-identical for a fixed seed at any thread count.
-  const int num_episodes = config_.envs_per_iteration;
   std::vector<EpisodePlan> plans(num_episodes);
   for (int i = 0; i < num_episodes; ++i) {
     EpisodePlan& plan = plans[i];
@@ -390,8 +424,6 @@ IterationStats Feat::RunIteration() {
   std::vector<std::vector<int>> episode_actions(num_episodes);
   const int num_threads =
       std::max(1, std::min(config_.num_threads, num_episodes));
-  const int num_shards =
-      std::max(1, std::min(config_.num_shards, num_episodes));
   if (num_shards > 1) {
     CollectEpisodesSharded(plans, num_shards, &trajectories,
                            &episode_actions);
@@ -479,19 +511,33 @@ IterationStats Feat::RunIteration() {
   guards.clear();
   stats.mean_loss = loss_count > 0 ? loss_total / loss_count : 0.0;
 
-  // Reward-cache traffic this iteration, summed over all seen tasks.
-  long long total_hits = 0;
-  long long total_misses = 0;
+  // Close the reward-cache epoch at this serial point (collection and the
+  // updates are joined, so no lookup is in flight), then drain the traffic
+  // windows: the epoch's publishes graduate into the eviction slab in
+  // sorted-key order and the budget sweep runs, so its evictions land in
+  // this iteration's counters and the whole sequence is deterministic at
+  // any thread or shard count.
   for (const SeenTaskRuntime& task : tasks_) {
-    total_hits += task.context->evaluator->cache_hits();
-    total_misses += task.context->evaluator->cache_misses();
+    task.context->evaluator->AdvanceCacheEpoch();
+    const MemoryTraffic traffic = task.context->evaluator->TakeCacheTraffic();
+    stats.cache_hits += traffic.hits;
+    stats.cache_misses += traffic.misses;
+    stats.cache_evictions += traffic.evictions;
+    stats.cache_bytes += task.context->evaluator->cache_bytes();
   }
-  stats.cache_hits = total_hits - prev_cache_hits_;
-  stats.cache_misses = total_misses - prev_cache_misses_;
-  prev_cache_hits_ = total_hits;
-  prev_cache_misses_ = total_misses;
+  long long replay_evictions_total = 0;
+  for (const SeenTaskRuntime& task : tasks_) {
+    replay_evictions_total += task.buffer->evictions();
+    stats.replay_bytes += task.buffer->bytes();
+  }
+  stats.replay_evictions = replay_evictions_total - prev_replay_evictions_;
+  prev_replay_evictions_ = replay_evictions_total;
   PF_LOG(Debug) << "iteration reward cache: " << stats.cache_hits
-                << " hits, " << stats.cache_misses << " misses";
+                << " hits, " << stats.cache_misses << " misses, "
+                << stats.cache_evictions << " evictions ("
+                << stats.cache_bytes << " bytes); replay "
+                << stats.replay_evictions << " evictions ("
+                << stats.replay_bytes << " bytes)";
 
   ++iteration_index_;
   stats.seconds = timer.ElapsedSeconds();
@@ -514,10 +560,222 @@ TrainingStats Feat::TrainWithStats(int iterations) {
     loss_sum += stats.mean_loss;
     totals.cache_hits += stats.cache_hits;
     totals.cache_misses += stats.cache_misses;
+    totals.cache_evictions += stats.cache_evictions;
+    totals.replay_evictions += stats.replay_evictions;
+    totals.peak_cache_bytes =
+        std::max(totals.peak_cache_bytes, stats.cache_bytes);
+    totals.peak_replay_bytes =
+        std::max(totals.peak_replay_bytes, stats.replay_bytes);
   }
   totals.mean_iteration_seconds = totals.total_seconds / totals.iterations;
   totals.mean_loss = loss_sum / totals.iterations;
   return totals;
+}
+
+namespace {
+
+// Training-state section of checkpoint format v3 ("PFTS"). Version bumps
+// here are independent of the agent-checkpoint format version.
+constexpr uint32_t kTrainingStateMagic = 0x50465453;
+constexpr uint32_t kTrainingStateVersion = 1;
+
+// Anything larger than this is a corrupt length field, not data.
+constexpr uint64_t kMaxSaneCount = 1ull << 31;
+
+void WriteF32Vector(ByteWriter* out, const std::vector<float>& values) {
+  out->U64(values.size());
+  out->Raw(values.data(), values.size() * sizeof(float));
+}
+
+bool ReadF32Vector(ByteReader* in, std::vector<float>* out) {
+  const uint64_t count = in->U64();
+  if (!in->ok() || count > kMaxSaneCount) return false;
+  out->resize(count);
+  return count == 0 || in->Raw(out->data(), count * sizeof(float));
+}
+
+void WriteF64Vector(ByteWriter* out, const std::vector<double>& values) {
+  out->U64(values.size());
+  out->Raw(values.data(), values.size() * sizeof(double));
+}
+
+bool ReadF64Vector(ByteReader* in, std::vector<double>* out) {
+  const uint64_t count = in->U64();
+  if (!in->ok() || count > kMaxSaneCount) return false;
+  out->resize(count);
+  return count == 0 || in->Raw(out->data(), count * sizeof(double));
+}
+
+}  // namespace
+
+void Feat::SerializeTrainingState(ByteWriter* out) const {
+  out->U32(kTrainingStateMagic);
+  out->U32(kTrainingStateVersion);
+  for (const uint64_t word : rng_.SaveState()) out->U64(word);
+  out->U64(iteration_index_);
+
+  const DqnAgent::AgentTrainingState agent = agent_->ExportTrainingState();
+  out->I64(agent.train_steps);
+  WriteF32Vector(out, agent.target_params);
+  out->I64(agent.adam_step);
+  WriteF32Vector(out, agent.adam_m);
+  WriteF32Vector(out, agent.adam_v);
+  WriteF64Vector(out, agent.popart_mean);
+  WriteF64Vector(out, agent.popart_sq);
+  out->Raw(agent.popart_init.data(), agent.popart_init.size());
+
+  const uint32_t num_features =
+      static_cast<uint32_t>(problem_->num_features());
+  out->U32(num_features);
+  out->U32(static_cast<uint32_t>(num_tasks()));
+  for (const SeenTaskRuntime& task : tasks_) {
+    out->I32(task.label_index);
+    out->U32(static_cast<uint32_t>(task.recent_returns.size()));
+    for (const double value : task.recent_returns) out->F64(value);
+    // Replay trajectories in insertion order with their priorities: a
+    // restored buffer replays the same Adds, so the relative order — the
+    // only thing sampling and eviction observe — is preserved exactly.
+    out->U32(static_cast<uint32_t>(task.buffer->num_trajectories()));
+    task.buffer->ForEachStored([&](const Trajectory& trajectory,
+                                   double priority) {
+      out->F64(priority);
+      out->F64(trajectory.episode_return);
+      out->U32(static_cast<uint32_t>(trajectory.transitions.size()));
+      for (const Transition& transition : trajectory.transitions) {
+        out->I32(transition.state.position);
+        out->Raw(transition.state.mask.data(), num_features);
+        out->I32(transition.next_state.position);
+        out->Raw(transition.next_state.mask.data(), num_features);
+        out->I32(transition.action);
+        out->F32(transition.reward);
+        out->U8(transition.done ? 1 : 0);
+      }
+    });
+    // Reward-cache contents (a pure memo: restoring it only converts the
+    // resumed run's would-be misses back into hits).
+    std::vector<std::pair<PackedMask, double>> entries;
+    task.context->evaluator->ExportCacheEntries(&entries);
+    const uint32_t words = (num_features + 63) / 64;
+    out->U32(static_cast<uint32_t>(entries.size()));
+    out->U32(words);
+    for (const auto& [key, value] : entries) {
+      PF_CHECK_EQ(key.size(), words);
+      out->Raw(key.data(), static_cast<std::size_t>(words) * sizeof(uint64_t));
+      out->F64(value);
+    }
+  }
+}
+
+bool Feat::RestoreTrainingState(ByteReader* in, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (iteration_index_ != 0) {
+    return fail("training state must restore into a freshly constructed Feat");
+  }
+  if (in->U32() != kTrainingStateMagic || !in->ok()) {
+    return fail("not a PA-FEAT training-state blob (bad magic)");
+  }
+  const uint32_t version = in->U32();
+  if (!in->ok() || version != kTrainingStateVersion) {
+    return fail("unknown training-state version " + std::to_string(version));
+  }
+  std::array<uint64_t, 6> rng_state;
+  for (uint64_t& word : rng_state) word = in->U64();
+  const uint64_t iteration = in->U64();
+
+  DqnAgent::AgentTrainingState agent;
+  agent.train_steps = in->I64();
+  if (!ReadF32Vector(in, &agent.target_params)) {
+    return fail("truncated training state (target parameters)");
+  }
+  agent.adam_step = in->I64();
+  if (!ReadF32Vector(in, &agent.adam_m) ||
+      !ReadF32Vector(in, &agent.adam_v)) {
+    return fail("truncated training state (optimizer moments)");
+  }
+  if (!ReadF64Vector(in, &agent.popart_mean) ||
+      !ReadF64Vector(in, &agent.popart_sq)) {
+    return fail("truncated training state (PopArt statistics)");
+  }
+  agent.popart_init.resize(agent.popart_mean.size());
+  if (!agent.popart_init.empty() &&
+      !in->Raw(agent.popart_init.data(), agent.popart_init.size())) {
+    return fail("truncated training state (PopArt flags)");
+  }
+  if (!in->ok()) return fail("truncated training state (agent)");
+  if (!agent_->ImportTrainingState(agent)) {
+    return fail("agent training state does not fit this architecture");
+  }
+
+  const uint32_t num_features = in->U32();
+  if (!in->ok() ||
+      num_features != static_cast<uint32_t>(problem_->num_features())) {
+    return fail("training state was saved for a different feature space");
+  }
+  const uint32_t task_count = in->U32();
+  if (!in->ok() || task_count != static_cast<uint32_t>(num_tasks())) {
+    return fail("training state was saved for a different task list");
+  }
+  const uint32_t words = (num_features + 63) / 64;
+  for (SeenTaskRuntime& task : tasks_) {
+    const int32_t label_index = in->I32();
+    if (!in->ok() || label_index != task.label_index) {
+      return fail("training state was saved for a different task order");
+    }
+    const uint32_t return_count = in->U32();
+    if (!in->ok() || return_count > kMaxSaneCount) {
+      return fail("corrupt training state (recent-return count)");
+    }
+    task.recent_returns.clear();
+    for (uint32_t i = 0; i < return_count; ++i) {
+      task.recent_returns.push_back(in->F64());
+    }
+    const uint32_t trajectory_count = in->U32();
+    if (!in->ok() || trajectory_count > kMaxSaneCount) {
+      return fail("corrupt training state (trajectory count)");
+    }
+    for (uint32_t t = 0; t < trajectory_count; ++t) {
+      const double priority = in->F64();
+      Trajectory trajectory;
+      trajectory.episode_return = in->F64();
+      const uint32_t transition_count = in->U32();
+      if (!in->ok() || transition_count > kMaxSaneCount) {
+        return fail("corrupt training state (transition count)");
+      }
+      trajectory.transitions.resize(transition_count);
+      for (Transition& transition : trajectory.transitions) {
+        transition.state.position = in->I32();
+        transition.state.mask.resize(num_features);
+        in->Raw(transition.state.mask.data(), num_features);
+        transition.next_state.position = in->I32();
+        transition.next_state.mask.resize(num_features);
+        in->Raw(transition.next_state.mask.data(), num_features);
+        transition.action = in->I32();
+        transition.reward = in->F32();
+        transition.done = in->U8() != 0;
+      }
+      if (!in->ok()) return fail("truncated training state (replay)");
+      task.buffer->AddTrajectory(std::move(trajectory), priority);
+    }
+    const uint32_t entry_count = in->U32();
+    const uint32_t saved_words = in->U32();
+    if (!in->ok() || entry_count > kMaxSaneCount || saved_words != words) {
+      return fail("corrupt training state (reward-cache header)");
+    }
+    for (uint32_t e = 0; e < entry_count; ++e) {
+      PackedMask key(words);
+      in->Raw(key.data(), static_cast<std::size_t>(words) * sizeof(uint64_t));
+      const double value = in->F64();
+      if (!in->ok()) return fail("truncated training state (reward cache)");
+      task.context->evaluator->ImportCacheEntry(std::move(key), value);
+    }
+  }
+
+  rng_.LoadState(rng_state);
+  iteration_index_ = iteration;
+  return true;
 }
 
 FeatureMask Feat::SelectForRepresentation(

@@ -1,14 +1,17 @@
 #ifndef PAFEAT_CORE_FEAT_H_
 #define PAFEAT_CORE_FEAT_H_
 
+#include <cstddef>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/greedy_policy.h"
 #include "core/problem.h"
+#include "memory/persistence.h"
 #include "rl/dqn_agent.h"
 #include "rl/fs_env.h"
 #include "rl/replay_buffer.h"
@@ -56,6 +59,21 @@ struct FeatConfig {
   // (0 = one per shard); the constructor grows the pool accordingly.
   int num_shards = 1;
   int shard_parallelism = 0;
+  // Bounded experience-memory plane (DESIGN.md "Bounded memory plane"):
+  // every task buffer B^k becomes a sharded trajectory store with
+  // `replay_shards` shards (training is bit-identical at any shard count),
+  // optionally priority-weighted sampling by episode return, and a byte
+  // budget resolved through ResolveReplayBudgetBytes (> 0 bytes, 0 explicit
+  // unlimited, < 0 the process-default chain; --replay_budget_mb).
+  int replay_shards = 1;
+  bool prioritized_replay = false;
+  long long replay_budget_bytes = kMemoryBudgetDefault;
+  // Success-induced task prioritization (arXiv 2301.00691) as the scheduler
+  // default instead of uniform: tasks whose recent success rate moved the
+  // most get more episodes, with exploration nominations drawn from the
+  // reserved per-shard RNG streams. An ablation alternative to the ITS —
+  // PaFeatConfig::use_its still overrides whatever the Feat default is.
+  bool success_prioritized_scheduling = false;
   int recent_returns_window = 32;
   DqnConfig dqn;                 // dqn.net.input_dim is filled automatically
   uint64_t seed = 7;
@@ -81,6 +99,15 @@ struct SeenTaskRuntime {
 class TaskScheduler {
  public:
   virtual ~TaskScheduler() = default;
+  // Called once per iteration before Probabilities (skipped in focus mode)
+  // with the iteration's reserved per-shard RNG streams — forked on the
+  // (iteration, shard) path off a fresh root-seeded generator, so a
+  // scheduler that draws from them cannot perturb the planning stream.
+  // Streams a scheduler does not consume leave training bit-identical to a
+  // run without the hook. The default consumes nothing.
+  virtual void BeginIteration(const std::vector<Rng*>& shard_streams) {
+    (void)shard_streams;
+  }
   virtual std::vector<double> Probabilities(
       const std::vector<SeenTaskRuntime>& tasks) = 0;
 };
@@ -148,10 +175,16 @@ struct IterationStats {
   double mean_loss = 0.0;
   int episodes = 0;
   std::vector<double> task_probabilities;
-  // Reward-cache traffic across all seen tasks during this iteration
-  // (deltas, not running totals).
+  // Reward-cache traffic across all seen tasks during this iteration —
+  // drained windows, so every lookup (including a stampede waiter resolving
+  // after an iteration rollover) is counted in exactly one iteration.
   long long cache_hits = 0;
   long long cache_misses = 0;
+  long long cache_evictions = 0;
+  // Resident bytes at the end of the iteration, summed over seen tasks.
+  std::size_t cache_bytes = 0;
+  long long replay_evictions = 0;
+  std::size_t replay_bytes = 0;
 };
 
 // Aggregate over a multi-iteration training run (Feat::TrainWithStats): the
@@ -165,6 +198,11 @@ struct TrainingStats {
   double mean_loss = 0.0;     // unweighted mean of per-iteration mean losses
   long long cache_hits = 0;   // summed reward-cache deltas
   long long cache_misses = 0;
+  long long cache_evictions = 0;
+  long long replay_evictions = 0;
+  // High-water marks of the end-of-iteration resident bytes.
+  std::size_t peak_cache_bytes = 0;
+  std::size_t peak_replay_bytes = 0;
 
   // Fraction of reward-cache lookups served from cache (0 with no traffic).
   double CacheHitRate() const {
@@ -232,6 +270,23 @@ class Feat {
   // further-training mode of §IV-D. Returns its runtime slot.
   int AddTask(int label_index);
 
+  // The runtime slot already holding `label_index`, or -1 — so a warm
+  // resume's FurtherTrain reuses the restored slot instead of duplicating
+  // the task.
+  int FindTask(int label_index) const;
+
+  // Warm-resume persistence (checkpoint v3, DESIGN.md "Bounded memory
+  // plane"): everything RunIteration depends on beyond the online
+  // parameters — the root RNG stream, the iteration index, the agent's
+  // target/optimizer/PopArt state, and per task the recent returns, the
+  // replay trajectories with their priorities, and the reward-cache
+  // contents. Restore requires a freshly constructed Feat over the same
+  // problem and task list; it returns false with a reason in `error` on any
+  // mismatch. A restored run's RunIteration sequence is bit-identical to
+  // the uninterrupted run's.
+  void SerializeTrainingState(ByteWriter* out) const;
+  bool RestoreTrainingState(ByteReader* in, std::string* error);
+
   // Focuses all episode sampling on one task slot (the further-training mode
   // interacts only with the unseen task's environment); -1 restores the
   // scheduler. Parameter updates still draw from every non-empty buffer.
@@ -257,15 +312,13 @@ class Feat {
   };
 
   // One collector shard of an iteration's buffer-filling phase: the subset
-  // of plan indices assigned by ShardOfEpisode, plus a shard RNG stream
-  // forked from the root seed on the (iteration, shard id) path. No current
-  // consumer draws from the stream — it is reserved for per-shard scheduling
-  // extensions (e.g. success-induced task prioritization) and forked off a
-  // fresh root-seeded generator so taking draws later cannot perturb the
-  // planning stream.
+  // of plan indices assigned by ShardOfEpisode. The per-shard RNG streams
+  // (forked from the root seed on the (iteration, shard id) path) are owned
+  // by RunIteration and handed to TaskScheduler::BeginIteration — e.g. the
+  // success-prioritized scheduler's exploration nominations — never to the
+  // collection itself.
   struct ShardPlan {
     int shard_id = 0;
-    Rng rng{0};
     std::vector<int> plan_indices;
   };
 
@@ -307,10 +360,9 @@ class Feat {
   // 0-based index of the next RunIteration call; keys the shard-assignment
   // hash and the per-shard RNG fork path.
   uint64_t iteration_index_ = 0;
-  // Running reward-cache totals at the end of the previous iteration, used
-  // to report per-iteration deltas in IterationStats.
-  long long prev_cache_hits_ = 0;
-  long long prev_cache_misses_ = 0;
+  // Running replay-eviction total at the end of the previous iteration
+  // (buffers only expose running counters; cache traffic drains windows).
+  long long prev_replay_evictions_ = 0;
 };
 
 }  // namespace pafeat

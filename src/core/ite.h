@@ -39,6 +39,8 @@ class IntraTaskExplorer : public InitialStateProvider {
   void EnsureTask(int task_slot);
 
   const ETree& tree(int task_slot) const { return *trees_[task_slot]; }
+  // Mutable access for the warm-resume restore path (checkpoint v3).
+  ETree* mutable_tree(int task_slot) { return trees_[task_slot].get(); }
   const IteConfig& config() const { return config_; }
 
  private:

@@ -1,8 +1,10 @@
 #ifndef PAFEAT_CORE_PAFEAT_H_
 #define PAFEAT_CORE_PAFEAT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/feat.h"
@@ -65,6 +67,19 @@ class PaFeat {
   FeatureMask FurtherTrain(
       int unseen_label_index, int iterations, int callback_every,
       const std::function<void(int iteration, const FeatureMask&)>& callback);
+
+  // Warm-resume persistence (checkpoint v3): the Feat training state (RNG,
+  // iteration index, agent target/optimizer state, replay buffers with
+  // priorities, reward caches) followed by the per-task Experience-Trees.
+  // Restore requires a freshly constructed PaFeat over the same problem,
+  // task list and ablation switches; on failure it returns false with a
+  // reason in `error` and the instance must be discarded. A restored run
+  // continues bit-identically to the uninterrupted one (the SITP scheduler's
+  // internal success trace is the one documented approximation — it
+  // re-primes on the first resumed iteration).
+  std::vector<std::uint8_t> SerializeTrainingState() const;
+  bool RestoreTrainingState(const std::vector<std::uint8_t>& blob,
+                            std::string* error);
 
   Feat& feat() { return *feat_; }
   const Feat& feat() const { return *feat_; }

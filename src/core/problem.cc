@@ -53,7 +53,8 @@ const TaskContext& FsProblem::Task(int label_index) {
   context.classifier->Fit(std_features_, context.labels, classifier_rows_,
                           &task_rng);
   context.evaluator = std::make_unique<SubsetEvaluator>(
-      &std_features_, context.labels, reward_rows_, context.classifier.get());
+      &std_features_, context.labels, reward_rows_, context.classifier.get(),
+      config_.reward_cache_budget_bytes);
   context.full_feature_reward = context.evaluator->FullFeatureReward();
 
   auto [inserted, ok] = tasks_.emplace(label_index, std::move(context));

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "data/split.h"
 #include "data/table.h"
+#include "memory/budget.h"
 #include "ml/masked_dnn.h"
 #include "ml/subset_evaluator.h"
 
@@ -37,6 +38,11 @@ struct FsProblemConfig {
   int reward_eval_rows = 256;
   // Cap on classifier fitting rows (0 = no cap).
   int classifier_train_rows_cap = 2000;
+  // Byte budget for each task's subset-reward cache; resolves through
+  // ResolveCacheBudgetBytes (> 0 bytes, 0 explicit unlimited, < 0 the
+  // process-default / PAFEAT_CACHE_BUDGET chain). The CLI surfaces this as
+  // --max_cache_mb.
+  long long reward_cache_budget_bytes = kMemoryBudgetDefault;
 };
 
 // A fast-feature-selection problem instance: one structured-data table with

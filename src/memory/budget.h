@@ -1,0 +1,44 @@
+#ifndef PAFEAT_MEMORY_BUDGET_H_
+#define PAFEAT_MEMORY_BUDGET_H_
+
+#include <cstddef>
+
+namespace pafeat {
+
+// Byte budgets of the bounded experience-memory plane (DESIGN.md "Bounded
+// memory plane"). Every bounded component (the tiered reward cache, the
+// sharded replay store) takes its budget through one resolution chain so
+// tools and CI can bound a whole process without touching call sites:
+//
+//   per-component config  >  process default (set by --max_cache_mb /
+//   --replay_budget_mb)   >  PAFEAT_CACHE_BUDGET environment variable
+//   (reward cache only; bytes)  >  unlimited.
+//
+// A configured value > 0 is a byte count; exactly 0 is an explicit
+// "unlimited" that stops the chain; any negative value means "resolve the
+// default chain". The resolved value is std::size_t bytes with 0 meaning
+// unlimited.
+inline constexpr long long kMemoryBudgetDefault = -1;
+inline constexpr long long kMemoryBudgetUnlimited = 0;
+
+std::size_t ResolveCacheBudgetBytes(long long configured);
+std::size_t ResolveReplayBudgetBytes(long long configured);
+
+// Process-wide defaults consulted by the chains above. Negative clears the
+// default (falls through to the environment / unlimited).
+void SetProcessCacheBudgetBytes(long long bytes);
+void SetProcessReplayBudgetBytes(long long bytes);
+
+// Traffic counters of one telemetry window. Windows are drained at serial
+// points (TakeTraffic-style APIs), so every hit/miss/eviction lands in
+// exactly one window at the moment it resolves — including stampede waiters
+// that resolve after an iteration rollover.
+struct MemoryTraffic {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_MEMORY_BUDGET_H_

@@ -1,0 +1,82 @@
+#ifndef PAFEAT_MEMORY_PERSISTENCE_H_
+#define PAFEAT_MEMORY_PERSISTENCE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pafeat {
+
+// Little-endian byte-blob primitives for the training-state section of
+// checkpoint format v3 (DESIGN.md "Bounded memory plane" / persistence).
+// Writers never fail; readers track a sticky ok flag so a truncated or
+// corrupt blob degrades into one error check at the end of a parse instead
+// of a check per field. Layout matches the raw-scalar convention of the
+// agent checkpoint (host endianness; the format ships with the process).
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t value) { Raw(&value, sizeof(value)); }
+  void U32(std::uint32_t value) { Raw(&value, sizeof(value)); }
+  void U64(std::uint64_t value) { Raw(&value, sizeof(value)); }
+  void I32(std::int32_t value) { Raw(&value, sizeof(value)); }
+  void I64(std::int64_t value) { Raw(&value, sizeof(value)); }
+  void F32(float value) { Raw(&value, sizeof(value)); }
+  void F64(double value) { Raw(&value, sizeof(value)); }
+  void Raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& blob)
+      : ByteReader(blob.data(), blob.size()) {}
+
+  std::uint8_t U8() { return Scalar<std::uint8_t>(); }
+  std::uint32_t U32() { return Scalar<std::uint32_t>(); }
+  std::uint64_t U64() { return Scalar<std::uint64_t>(); }
+  std::int32_t I32() { return Scalar<std::int32_t>(); }
+  std::int64_t I64() { return Scalar<std::int64_t>(); }
+  float F32() { return Scalar<float>(); }
+  double F64() { return Scalar<double>(); }
+  bool Raw(void* out, std::size_t size) {
+    if (!ok_ || size > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T Scalar() {
+    T value{};
+    Raw(&value, sizeof(value));
+    return value;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_MEMORY_PERSISTENCE_H_

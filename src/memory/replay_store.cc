@@ -1,0 +1,108 @@
+#include "memory/replay_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pafeat {
+
+ShardedTrajectoryStore::ShardedTrajectoryStore(const ReplayConfig& config)
+    : config_(config), shards_(std::max(1, config.num_shards)) {
+  PF_CHECK_GT(config.capacity_transitions, 0);
+  PF_CHECK_GE(config.num_shards, 1);
+}
+
+int ShardedTrajectoryStore::ShardOfSequence(std::uint64_t sequence,
+                                            int num_shards) {
+  PF_CHECK_GT(num_shards, 0);
+  // Same SplitMix64-style avalanche as Feat::ShardOfEpisode: a pure function
+  // of the arrival sequence, so the assignment never depends on timing or on
+  // earlier shard counts.
+  std::uint64_t z = sequence * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(num_shards));
+}
+
+std::size_t ShardedTrajectoryStore::TrajectoryBytes(
+    const Trajectory& trajectory) {
+  std::size_t bytes = sizeof(StoredTrajectory);
+  for (const Transition& transition : trajectory.transitions) {
+    bytes += sizeof(Transition) + transition.state.mask.size() +
+             transition.next_state.mask.size();
+  }
+  return bytes;
+}
+
+void ShardedTrajectoryStore::Add(Trajectory trajectory, double priority) {
+  StoredTrajectory stored;
+  stored.priority = priority;
+  stored.sequence = next_sequence_++;
+  stored.bytes = TrajectoryBytes(trajectory);
+  const int added_transitions =
+      static_cast<int>(trajectory.transitions.size());
+  stored.trajectory = std::move(trajectory);
+
+  const int shard_id = ShardOfSequence(
+      stored.sequence, static_cast<int>(shards_.size()));
+  Shard& shard = shards_[shard_id];
+  int slot;
+  num_transitions_ += added_transitions;
+  bytes_ += stored.bytes;
+  if (!shard.free.empty()) {
+    slot = shard.free.back();
+    shard.free.pop_back();
+    shard.slots[slot] = std::move(stored);
+  } else {
+    slot = static_cast<int>(shard.slots.size());
+    shard.slots.push_back(std::move(stored));
+  }
+  order_.push_back(Ref{shard_id, slot});
+
+  // FIFO capacity eviction — bit-identical to the historical single-deque
+  // buffer: evict oldest-first while over the transition cap, always keeping
+  // at least one trajectory.
+  while (num_transitions_ > config_.capacity_transitions &&
+         order_.size() > 1) {
+    RemoveAt(0);
+  }
+}
+
+long long ShardedTrajectoryStore::EvictToBudget() {
+  long long evicted = 0;
+  while (config_.byte_budget > 0 && bytes_ > config_.byte_budget &&
+         order_.size() > 1) {
+    // Lowest (priority, sequence) first — the (priority, shard id, slot
+    // index) tie-break materialized through the slot's stored sequence
+    // number (see class comment), so the victim order is identical at any
+    // shard count.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < order_.size(); ++i) {
+      const StoredTrajectory& candidate = at(order_[i]);
+      const StoredTrajectory& best = at(order_[victim]);
+      if (candidate.priority < best.priority ||
+          (candidate.priority == best.priority &&
+           candidate.sequence < best.sequence)) {
+        victim = i;
+      }
+    }
+    RemoveAt(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void ShardedTrajectoryStore::RemoveAt(std::size_t order_index) {
+  const Ref ref = order_[order_index];
+  StoredTrajectory& stored = shards_[ref.shard].slots[ref.slot];
+  num_transitions_ -= static_cast<int>(stored.trajectory.transitions.size());
+  bytes_ -= stored.bytes;
+  stored.trajectory = Trajectory();
+  stored.bytes = 0;
+  shards_[ref.shard].free.push_back(ref.slot);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(order_index));
+  ++evictions_;
+}
+
+}  // namespace pafeat

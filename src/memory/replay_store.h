@@ -1,0 +1,100 @@
+#ifndef PAFEAT_MEMORY_REPLAY_STORE_H_
+#define PAFEAT_MEMORY_REPLAY_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rl/types.h"
+
+namespace pafeat {
+
+// Configuration of one task's replay storage (DESIGN.md "Bounded memory
+// plane").
+struct ReplayConfig {
+  int capacity_transitions = 4096;  // FIFO transition cap (paper default)
+  // Storage shards: trajectories are assigned by a fixed avalanche hash of
+  // their arrival sequence number, so the layout is a pure function of the
+  // arrival order — never of timing. Sampling and eviction order by
+  // shard-invariant keys, so training is bit-identical at any shard count.
+  int num_shards = 1;
+  // Priority-weighted sampling (opt-in; changes the rng draw pattern, so it
+  // is an ablation switch rather than a default).
+  bool prioritized = false;
+  double priority_floor = 0.05;  // mixed into every weight; nothing starves
+  std::size_t byte_budget = 0;   // 0 = unbounded
+};
+
+// Sharded trajectory storage behind ReplayBuffer. Slots live in per-shard
+// vectors with LIFO free-lists; a global insertion-order deque of
+// (shard, slot) refs preserves the exact iteration order of the historical
+// single-deque buffer, so the uniform sampling walk is bit-identical to the
+// pre-sharding layout.
+//
+// Every stored trajectory carries its priority and its arrival sequence
+// number. The eviction / priority tie-break key is (priority, shard id,
+// slot index), materialized through the stored sequence number: (shard id,
+// slot index) determines the sequence bijectively at any shard count, and
+// ordering by sequence — unlike ordering by the pair itself — is invariant
+// to the shard count, which is what makes training bit-identical when the
+// storage is re-sharded.
+class ShardedTrajectoryStore {
+ public:
+  explicit ShardedTrajectoryStore(const ReplayConfig& config);
+
+  struct Ref {
+    int shard = 0;
+    int slot = 0;
+  };
+
+  struct StoredTrajectory {
+    Trajectory trajectory;
+    double priority = 0.0;
+    std::uint64_t sequence = 0;
+    std::size_t bytes = 0;
+  };
+
+  // Appends a trajectory, FIFO-evicting the oldest while over the
+  // transition capacity (always keeping at least one trajectory).
+  void Add(Trajectory trajectory, double priority);
+
+  // Evicts lowest-(priority, sequence) trajectories until bytes() fits the
+  // byte budget (keeps at least one). Returns the number evicted.
+  long long EvictToBudget();
+
+  // Shard assignment for an arrival sequence number (exposed for tests).
+  static int ShardOfSequence(std::uint64_t sequence, int num_shards);
+
+  const std::deque<Ref>& order() const { return order_; }
+  const StoredTrajectory& at(const Ref& ref) const {
+    return shards_[ref.shard].slots[ref.slot];
+  }
+
+  int num_transitions() const { return num_transitions_; }
+  int num_trajectories() const { return static_cast<int>(order_.size()); }
+  std::size_t bytes() const { return bytes_; }
+  long long evictions() const { return evictions_; }
+  const ReplayConfig& config() const { return config_; }
+
+ private:
+  void RemoveAt(std::size_t order_index);
+  static std::size_t TrajectoryBytes(const Trajectory& trajectory);
+
+  struct Shard {
+    std::vector<StoredTrajectory> slots;
+    std::vector<int> free;  // LIFO reuse of evicted slots
+  };
+
+  ReplayConfig config_;
+  std::vector<Shard> shards_;
+  std::deque<Ref> order_;  // live refs, oldest first
+  std::uint64_t next_sequence_ = 0;
+  int num_transitions_ = 0;
+  std::size_t bytes_ = 0;
+  long long evictions_ = 0;  // running total (FIFO + budget)
+};
+
+}  // namespace pafeat
+
+#endif  // PAFEAT_MEMORY_REPLAY_STORE_H_

@@ -7,11 +7,13 @@ namespace pafeat {
 SubsetEvaluator::SubsetEvaluator(const Matrix* features,
                                  std::vector<float> labels,
                                  std::vector<int> eval_rows,
-                                 const MaskedDnnClassifier* classifier)
+                                 const MaskedDnnClassifier* classifier,
+                                 long long cache_budget_bytes)
     : features_(features),
       labels_(std::move(labels)),
       eval_rows_(std::move(eval_rows)),
-      classifier_(classifier) {
+      classifier_(classifier),
+      cache_(ResolveCacheBudgetBytes(cache_budget_bytes)) {
   PF_CHECK(features_ != nullptr);
   PF_CHECK(classifier_ != nullptr);
   PF_CHECK(classifier_->fitted());
@@ -32,44 +34,19 @@ double SubsetEvaluator::EvaluateUncached(const FeatureMask& mask) const {
 double SubsetEvaluator::Reward(const FeatureMask& mask) const {
   PF_CHECK_EQ(static_cast<int>(mask.size()), features_->cols());
   PackedMask key = PackMask(mask);
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      auto it = cache_.find(key);
-      if (it != cache_.end()) {
-        ++hits_;
-        return it->second;
-      }
-      // Claim the key if nobody is computing it; otherwise wait for that
-      // thread and re-probe the cache (the wake-up path counts as a hit).
-      if (in_flight_.insert(key).second) break;
-      in_flight_cv_.wait(lock);
-    }
+  double value = 0.0;
+  if (cache_.AcquireOrWait(key, &value) == TieredRewardCache::Probe::kHit) {
+    return value;
   }
-  // Computed outside the lock so different masks evaluate concurrently.
+  // This caller claimed the key: compute outside the lock so different masks
+  // evaluate concurrently, then publish (waking any stampede waiters).
   const double reward = EvaluateUncached(mask);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++misses_;
-    in_flight_.erase(key);
-    cache_.emplace(std::move(key), reward);
-  }
-  in_flight_cv_.notify_all();
+  cache_.Publish(std::move(key), reward);
   return reward;
 }
 
 double SubsetEvaluator::FullFeatureReward() const {
   return Reward(FeatureMask(features_->cols(), 1));
-}
-
-long long SubsetEvaluator::cache_hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-long long SubsetEvaluator::cache_misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
 }
 
 }  // namespace pafeat

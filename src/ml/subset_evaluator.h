@@ -1,13 +1,13 @@
 #ifndef PAFEAT_ML_SUBSET_EVALUATOR_H_
 #define PAFEAT_ML_SUBSET_EVALUATOR_H_
 
-#include <condition_variable>
-#include <mutex>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "data/feature_mask.h"
+#include "memory/budget.h"
+#include "memory/reward_cache.h"
 #include "ml/masked_dnn.h"
 #include "tensor/matrix.h"
 
@@ -25,18 +25,21 @@ namespace pafeat {
 // over that block, so the per-miss cost scales with the subset size rather
 // than the full feature count, and no masked copy is materialized.
 //
-// Thread-safe: the cache is guarded by a mutex so FEAT's parallel episode
-// collection can share one evaluator per task. Rewards are computed outside
-// the lock; an in-flight key set dedups concurrent misses on the same mask —
-// the first thread computes, later arrivals wait on a condition variable and
-// read the cached value (counted as hits). The cache key is the PackedMask
-// bitset form — every environment step probes this map, so key
-// hashing/compares run over 64-bit words, not bytes.
+// The cache behind Reward is a bounded TieredRewardCache (DESIGN.md "Bounded
+// memory plane"): the byte budget resolves through ResolveCacheBudgetBytes
+// (config > process default > PAFEAT_CACHE_BUDGET > unlimited), rewards are
+// computed outside the cache lock, and concurrent misses on one mask dedup
+// through the in-flight set — the first thread computes, later arrivals wait
+// and read the cached value (counted as hits). Eviction cannot change any
+// reward value (the cache is a pure memo), only the traffic counters; the
+// cache evicts only at epoch boundaries, so counters too are deterministic
+// at any thread count when the training loop drives the epochs.
 class SubsetEvaluator {
  public:
   SubsetEvaluator(const Matrix* features, std::vector<float> labels,
                   std::vector<int> eval_rows,
-                  const MaskedDnnClassifier* classifier);
+                  const MaskedDnnClassifier* classifier,
+                  long long cache_budget_bytes = kMemoryBudgetDefault);
 
   // Cached AUC reward of the subset.
   double Reward(const FeatureMask& mask) const;
@@ -50,8 +53,38 @@ class SubsetEvaluator {
   double FullFeatureReward() const;
 
   int num_features() const { return features_->cols(); }
-  long long cache_hits() const;
-  long long cache_misses() const;
+
+  // Running totals (never reset; the historical telemetry contract).
+  long long cache_hits() const { return cache_.total_hits(); }
+  long long cache_misses() const { return cache_.total_misses(); }
+  long long cache_evictions() const { return cache_.total_evictions(); }
+  std::size_t cache_bytes() const { return cache_.bytes(); }
+  std::size_t cache_entries() const { return cache_.live_entries(); }
+
+  // Drains the per-iteration telemetry window: every hit/miss/eviction lands
+  // in exactly one drain, attributed at resolve time — a stampede waiter
+  // that resolves after an iteration rollover counts toward the iteration
+  // that drains it, never lost between baselines.
+  MemoryTraffic TakeCacheTraffic() const { return cache_.TakeTraffic(); }
+
+  // Serial point of the training loop: closes the cache epoch (graduates
+  // this epoch's inserts in sorted-key order, runs the budget sweep).
+  void AdvanceCacheEpoch() const { cache_.AdvanceEpoch(); }
+
+  // A training loop takes manual control of epochs (one per iteration);
+  // without it the cache auto-sweeps on a publish-count trigger.
+  void SetManualCacheControl(bool manual) const {
+    cache_.SetManualEpochControl(manual);
+  }
+
+  // Warm-resume persistence of the memo contents (checkpoint v3).
+  void ExportCacheEntries(
+      std::vector<std::pair<PackedMask, double>>* out) const {
+    cache_.ExportEntries(out);
+  }
+  void ImportCacheEntry(PackedMask key, double value) const {
+    cache_.ImportEntry(std::move(key), value);
+  }
 
  private:
   const Matrix* features_;
@@ -62,12 +95,9 @@ class SubsetEvaluator {
   // so every reward evaluation streams a dense block.
   Matrix eval_block_;
   std::vector<float> eval_labels_;
-  mutable std::mutex mutex_;
-  mutable std::condition_variable in_flight_cv_;
-  mutable std::unordered_map<PackedMask, double, PackedMaskHash> cache_;
-  mutable std::unordered_set<PackedMask, PackedMaskHash> in_flight_;
-  mutable long long hits_ = 0;
-  mutable long long misses_ = 0;
+  // Mutable: memoization is logically const (Reward is a pure function of
+  // the mask; the cache only changes cost and counters).
+  mutable TieredRewardCache cache_;
 };
 
 }  // namespace pafeat

@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -67,6 +68,49 @@ void AdamOptimizer::Step(const std::vector<Matrix*>& params,
       pd[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+void AdamOptimizer::ExportState(long long* step, std::vector<float>* m,
+                                std::vector<float>* v) const {
+  *step = step_;
+  m->clear();
+  v->clear();
+  for (const Matrix& moment : m_) {
+    m->insert(m->end(), moment.data(), moment.data() + moment.size());
+  }
+  for (const Matrix& moment : v_) {
+    v->insert(v->end(), moment.data(), moment.data() + moment.size());
+  }
+}
+
+bool AdamOptimizer::ImportState(long long step, const std::vector<float>& m,
+                                const std::vector<float>& v,
+                                const std::vector<Matrix*>& params) {
+  if (step < 0 || m.size() != v.size()) return false;
+  if (m.empty()) {
+    if (step != 0) return false;
+    step_ = 0;
+    m_.clear();
+    v_.clear();
+    return true;
+  }
+  size_t total = 0;
+  for (const Matrix* p : params) total += p->size();
+  if (m.size() != total) return false;
+  m_.clear();
+  v_.clear();
+  size_t offset = 0;
+  for (const Matrix* p : params) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+    std::copy(m.begin() + offset, m.begin() + offset + p->size(),
+              m_.back().data());
+    std::copy(v.begin() + offset, v.begin() + offset + p->size(),
+              v_.back().data());
+    offset += p->size();
+  }
+  step_ = step;
+  return true;
 }
 
 }  // namespace pafeat

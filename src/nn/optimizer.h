@@ -44,6 +44,21 @@ class AdamOptimizer : public Optimizer {
 
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
+  long long step() const { return step_; }
+
+  // Warm-resume persistence (checkpoint v3): the step counter and the
+  // moment vectors flattened in parameter order (both empty before the
+  // first Step — the moments are created lazily).
+  void ExportState(long long* step, std::vector<float>* m,
+                   std::vector<float>* v) const;
+
+  // Restores an exported state against the parameter set the optimizer will
+  // drive (shapes come from `params`). Empty moments with step 0 reset to
+  // the never-stepped state. Returns false when the flattened sizes do not
+  // fit the parameter shapes.
+  bool ImportState(long long step, const std::vector<float>& m,
+                   const std::vector<float>& v,
+                   const std::vector<Matrix*>& params);
 
  private:
   float learning_rate_;

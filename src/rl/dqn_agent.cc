@@ -94,6 +94,41 @@ std::pair<double, double> DqnAgent::PopArtStats(int task_id) const {
   return {mean, std::sqrt(var)};
 }
 
+DqnAgent::AgentTrainingState DqnAgent::ExportTrainingState() const {
+  AgentTrainingState state;
+  state.train_steps = train_steps_;
+  state.target_params = target_->SerializeParams();
+  optimizer_->ExportState(&state.adam_step, &state.adam_m, &state.adam_v);
+  state.popart_mean = popart_mean_;
+  state.popart_sq = popart_sq_;
+  state.popart_init.reserve(popart_init_.size());
+  for (const bool init : popart_init_) {
+    state.popart_init.push_back(init ? 1 : 0);
+  }
+  return state;
+}
+
+bool DqnAgent::ImportTrainingState(const AgentTrainingState& state) {
+  if (state.train_steps < 0) return false;
+  if (state.popart_mean.size() != state.popart_sq.size() ||
+      state.popart_mean.size() != state.popart_init.size()) {
+    return false;
+  }
+  if (!target_->DeserializeParams(state.target_params)) return false;
+  if (!optimizer_->ImportState(state.adam_step, state.adam_m, state.adam_v,
+                               online_->Params())) {
+    return false;
+  }
+  train_steps_ = state.train_steps;
+  popart_mean_ = state.popart_mean;
+  popart_sq_ = state.popart_sq;
+  popart_init_.assign(state.popart_init.size(), false);
+  for (size_t i = 0; i < state.popart_init.size(); ++i) {
+    popart_init_[i] = state.popart_init[i] != 0;
+  }
+  return true;
+}
+
 double DqnAgent::TrainBatch(const std::vector<BatchItem>& batch) {
   PF_CHECK(!batch.empty());
   const int batch_size = static_cast<int>(batch.size());

@@ -1,6 +1,7 @@
 #ifndef PAFEAT_RL_DQN_AGENT_H_
 #define PAFEAT_RL_DQN_AGENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -79,6 +80,24 @@ class DqnAgent {
 
   // PopArt statistics for a task (mean, stddev); identity until trained.
   std::pair<double, double> PopArtStats(int task_id) const;
+
+  // Everything TrainBatch depends on beyond the online parameters (which the
+  // agent checkpoint already carries): warm-resume persistence for
+  // checkpoint v3. A resumed agent takes bit-identical gradient steps.
+  struct AgentTrainingState {
+    long long train_steps = 0;
+    std::vector<float> target_params;
+    long long adam_step = 0;
+    std::vector<float> adam_m;
+    std::vector<float> adam_v;
+    std::vector<double> popart_mean;
+    std::vector<double> popart_sq;
+    std::vector<std::uint8_t> popart_init;
+  };
+  AgentTrainingState ExportTrainingState() const;
+  // Returns false (leaving the agent unspecified-but-safe) when the state
+  // does not fit this agent's architecture.
+  bool ImportTrainingState(const AgentTrainingState& state);
 
  private:
   void EnsurePopArtSize(int task_id);

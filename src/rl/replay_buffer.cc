@@ -1,25 +1,45 @@
 #include "rl/replay_buffer.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pafeat {
+namespace {
 
-ReplayBuffer::ReplayBuffer(int capacity_transitions)
-    : capacity_(capacity_transitions) {
-  PF_CHECK_GT(capacity_transitions, 0);
+ReplayConfig LegacyConfig(int capacity_transitions) {
+  ReplayConfig config;
+  config.capacity_transitions = capacity_transitions;
+  return config;
 }
 
+}  // namespace
+
+ReplayBuffer::ReplayBuffer(int capacity_transitions)
+    : store_(LegacyConfig(capacity_transitions)) {}
+
+ReplayBuffer::ReplayBuffer(const ReplayConfig& config) : store_(config) {}
+
 void ReplayBuffer::AddTrajectory(Trajectory trajectory) {
+  // The final subset's true performance is the success signal the
+  // prioritized sampler weights by (recorded even when sampling uniformly,
+  // so flipping the switch mid-run needs no backfill).
+  const double priority = trajectory.episode_return;
+  AddTrajectory(std::move(trajectory), priority);
+}
+
+void ReplayBuffer::AddTrajectory(Trajectory trajectory, double priority) {
   // Mutating while a ReadGuard is registered could evict trajectories whose
   // transitions the reader still points into.
   PF_DCHECK_EQ(readers_, 0);
   if (trajectory.transitions.empty()) return;
-  num_transitions_ += static_cast<int>(trajectory.transitions.size());
-  trajectories_.push_back(std::move(trajectory));
-  while (num_transitions_ > capacity_ && trajectories_.size() > 1) {
-    num_transitions_ -= static_cast<int>(trajectories_.front().transitions.size());
-    trajectories_.pop_front();
-  }
+  store_.Add(std::move(trajectory), priority);
+  if (store_.config().byte_budget > 0) EvictToBudget();
+}
+
+void ReplayBuffer::EvictToBudget() {
+  PF_DCHECK_EQ(readers_, 0);
+  store_.EvictToBudget();
 }
 
 std::vector<const Transition*> ReplayBuffer::SampleTransitions(
@@ -27,17 +47,62 @@ std::vector<const Transition*> ReplayBuffer::SampleTransitions(
   PF_CHECK(!empty());
   std::vector<const Transition*> sampled;
   sampled.reserve(count);
+  if (!store_.config().prioritized) {
+    // Uniform two-level pick weighted by trajectory length, walking the
+    // insertion order — draw-for-draw identical to the historical
+    // single-deque buffer at any shard count.
+    for (int i = 0; i < count; ++i) {
+      int index = rng->UniformInt(store_.num_transitions());
+      for (const ShardedTrajectoryStore::Ref& ref : store_.order()) {
+        const Trajectory& trajectory = store_.at(ref).trajectory;
+        const int len = static_cast<int>(trajectory.transitions.size());
+        if (index < len) {
+          sampled.push_back(&trajectory.transitions[index]);
+          break;
+        }
+        index -= len;
+      }
+    }
+    PF_CHECK_EQ(static_cast<int>(sampled.size()), count);
+    return sampled;
+  }
+
+  // Prioritized sampling: trajectory weight = length * (priority + floor),
+  // walked in (priority desc, sequence asc) order so the accumulation — and
+  // therefore every draw — is a pure function of the stored set, invariant
+  // to the shard count. Two draws per sample: the weighted trajectory pick,
+  // then a uniform transition within it.
+  std::vector<const ShardedTrajectoryStore::StoredTrajectory*> ranked;
+  ranked.reserve(store_.order().size());
+  for (const ShardedTrajectoryStore::Ref& ref : store_.order()) {
+    ranked.push_back(&store_.at(ref));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ShardedTrajectoryStore::StoredTrajectory* a,
+               const ShardedTrajectoryStore::StoredTrajectory* b) {
+              if (a->priority != b->priority) return a->priority > b->priority;
+              return a->sequence < b->sequence;
+            });
+  const double floor = store_.config().priority_floor;
+  double total_weight = 0.0;
+  for (const auto* stored : ranked) {
+    total_weight += stored->trajectory.transitions.size() *
+                    (std::max(stored->priority, 0.0) + floor);
+  }
+  PF_CHECK_GT(total_weight, 0.0);
   for (int i = 0; i < count; ++i) {
-    // Two-level uniform pick weighted by trajectory length.
-    int index = rng->UniformInt(num_transitions_);
-    for (const Trajectory& trajectory : trajectories_) {
-      const int len = static_cast<int>(trajectory.transitions.size());
-      if (index < len) {
-        sampled.push_back(&trajectory.transitions[index]);
+    double r = rng->Uniform() * total_weight;
+    const ShardedTrajectoryStore::StoredTrajectory* picked = ranked.back();
+    for (const auto* stored : ranked) {
+      r -= stored->trajectory.transitions.size() *
+           (std::max(stored->priority, 0.0) + floor);
+      if (r < 0.0) {
+        picked = stored;
         break;
       }
-      index -= len;
     }
+    const int len = static_cast<int>(picked->trajectory.transitions.size());
+    sampled.push_back(&picked->trajectory.transitions[rng->UniformInt(len)]);
   }
   PF_CHECK_EQ(static_cast<int>(sampled.size()), count);
   return sampled;
@@ -46,12 +111,20 @@ std::vector<const Transition*> ReplayBuffer::SampleTransitions(
 std::vector<const Trajectory*> ReplayBuffer::RecentTrajectories(
     int count) const {
   std::vector<const Trajectory*> recent;
-  const int available = static_cast<int>(trajectories_.size());
+  const int available = store_.num_trajectories();
   const int take = std::min(count, available);
   for (int i = available - take; i < available; ++i) {
-    recent.push_back(&trajectories_[i]);
+    recent.push_back(&store_.at(store_.order()[i]).trajectory);
   }
   return recent;
+}
+
+void ReplayBuffer::ForEachStored(
+    const std::function<void(const Trajectory&, double priority)>& fn) const {
+  for (const ShardedTrajectoryStore::Ref& ref : store_.order()) {
+    const ShardedTrajectoryStore::StoredTrajectory& stored = store_.at(ref);
+    fn(stored.trajectory, stored.priority);
+  }
 }
 
 }  // namespace pafeat

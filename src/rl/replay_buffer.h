@@ -1,30 +1,39 @@
 #ifndef PAFEAT_RL_REPLAY_BUFFER_H_
 #define PAFEAT_RL_REPLAY_BUFFER_H_
 
-#include <deque>
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "memory/replay_store.h"
 #include "rl/types.h"
 
 namespace pafeat {
 
-// Bounded FIFO replay buffer of whole trajectories (Algorithm 1 keeps one
-// buffer B^k per seen task). Sampling is uniform over stored transitions;
-// the ITS reads the most recent trajectories (Eqn 4a's load module).
+// Bounded replay buffer of whole trajectories (Algorithm 1 keeps one buffer
+// B^k per seen task), re-cut over the sharded trajectory store of the
+// bounded memory plane (DESIGN.md "Bounded memory plane"). Default sampling
+// is uniform over stored transitions and bit-identical to the historical
+// single-deque buffer (same rng draws, same walk order); ReplayConfig opts
+// into priority-weighted sampling and a byte budget. The ITS reads the most
+// recent trajectories (Eqn 4a's load module).
 //
 // Borrow contract: SampleTransitions / RecentTrajectories return raw
-// pointers into the trajectory deque, and AddTrajectory evicts the oldest
-// trajectories once the transition count exceeds capacity — so adding while
-// borrowed pointers are live can dangle them. Callers that hold sampled
-// pointers across statements (e.g. the learner's sample-then-materialize
-// split) register the borrow with a ReadGuard; AddTrajectory asserts (in
-// checked builds) that no borrow is outstanding. The flag is plain state:
-// guards must be created and destroyed on the thread that owns the buffer.
+// pointers into the stored trajectories, and both mutation entry points —
+// AddTrajectory (FIFO capacity eviction) and EvictToBudget (priority-ordered
+// byte-budget eviction) — can destroy trajectories those pointers live in.
+// Callers that hold sampled pointers across statements (e.g. the learner's
+// sample-then-materialize split) register the borrow with a ReadGuard; the
+// mutation entry points assert (in checked builds) that no borrow is
+// outstanding, and pafeat-analyze enforces the same contract statically
+// (borrow-across-mutation). The flag is plain state: guards must be created
+// and destroyed on the thread that owns the buffer.
 class ReplayBuffer {
  public:
   explicit ReplayBuffer(int capacity_transitions);
+  explicit ReplayBuffer(const ReplayConfig& config);
 
   // RAII registration of a borrow window over the buffer's internal
   // storage. Movable so windows can be collected in a vector spanning
@@ -55,10 +64,22 @@ class ReplayBuffer {
     const ReplayBuffer* buffer_;
   };
 
+  // Stores a trajectory; its priority defaults to the episode return (the
+  // success signal the prioritized sampler weights by). Runs the FIFO
+  // capacity eviction and, under a byte budget, EvictToBudget.
   void AddTrajectory(Trajectory trajectory);
+  void AddTrajectory(Trajectory trajectory, double priority);
 
-  // Uniformly samples `count` transitions (with replacement). The pointers
-  // are only stable until the next AddTrajectory — see the borrow contract.
+  // Evicts lowest-(priority, sequence) trajectories until the byte budget
+  // fits (no-op when unbounded). A mutation entry point under the borrow
+  // contract, exactly like AddTrajectory.
+  void EvictToBudget();
+
+  // Samples `count` transitions (with replacement): uniform over stored
+  // transitions by default, priority-weighted under ReplayConfig::
+  // prioritized (weights walk the (priority desc, sequence asc) order, so
+  // draws are deterministic at any shard count). The pointers are only
+  // stable until the next mutation — see the borrow contract.
   std::vector<const Transition*> SampleTransitions(int count, Rng* rng) const;
 
   // The most recent `count` trajectories, newest last (fewer if not enough).
@@ -71,17 +92,23 @@ class ReplayBuffer {
     --readers_;
   }
 
-  int num_transitions() const { return num_transitions_; }
-  int num_trajectories() const { return static_cast<int>(trajectories_.size()); }
-  bool empty() const { return num_transitions_ == 0; }
+  // Warm-resume persistence: visits every stored trajectory in insertion
+  // order with its priority (checkpoint v3).
+  void ForEachStored(
+      const std::function<void(const Trajectory&, double priority)>& fn) const;
+
+  int num_transitions() const { return store_.num_transitions(); }
+  int num_trajectories() const { return store_.num_trajectories(); }
+  bool empty() const { return store_.num_transitions() == 0; }
+  std::size_t bytes() const { return store_.bytes(); }
+  long long evictions() const { return store_.evictions(); }
+  const ReplayConfig& config() const { return store_.config(); }
 
  private:
-  int capacity_;
-  int num_transitions_ = 0;
   // Outstanding borrow windows (checked builds only assert on it); mutable
   // because registering a read is logically const.
   mutable int readers_ = 0;
-  std::deque<Trajectory> trajectories_;
+  ShardedTrajectoryStore store_;
 };
 
 }  // namespace pafeat

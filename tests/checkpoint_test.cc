@@ -141,11 +141,11 @@ TEST_F(CheckpointTest, LoadRejectsFutureVersion) {
   const std::string path = TempPath();
   ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(*feat_), path));
   std::string bytes = ReadAll(path);
-  bytes[4] = 3;  // a version this binary does not know
+  bytes[4] = 4;  // a version this binary does not know
   WriteAll(path, bytes);
   std::string error;
   EXPECT_FALSE(LoadCheckpoint(path, &error).has_value());
-  EXPECT_NE(error.find("format version 3 is newer than this binary"),
+  EXPECT_NE(error.find("format version 4 is newer than this binary"),
             std::string::npos)
       << error;
   std::remove(path.c_str());

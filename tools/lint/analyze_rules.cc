@@ -137,9 +137,18 @@ void CheckRngEscape(const Program& p, const Graph& g,
 
 // --- borrow-across-mutation ------------------------------------------------
 
+// Replay mutation entry points: calls that may compact, evict or retire
+// stored trajectories and therefore invalidate spans borrowed through a
+// ReadGuard. AddTrajectory has been one since the buffer existed; the budget
+// refactor added EvictToBudget (DESIGN.md "Bounded memory plane"), which
+// removes trajectories outside any insertion.
+bool IsReplayMutation(const std::string& callee) {
+  return callee == "AddTrajectory" || callee == "EvictToBudget";
+}
+
 void CheckBorrowAcrossMutation(const Program& p, const Graph& g,
                                std::vector<Finding>* findings) {
-  // R = defs whose body reaches a call named AddTrajectory. Reverse fixpoint
+  // R = defs whose body reaches a replay mutation call. Reverse fixpoint
   // with a witness call per def so the finding can spell out the path.
   const std::size_t n = p.defs.size();
   std::vector<char> reaches(n, 0);
@@ -150,7 +159,7 @@ void CheckBorrowAcrossMutation(const Program& p, const Graph& g,
     for (std::size_t c = 0; c < p.calls.size(); ++c) {
       const CallSite& call = p.calls[c];
       if (reaches[call.caller]) continue;
-      bool hit = call.callee == "AddTrajectory";
+      bool hit = IsReplayMutation(call.callee);
       if (!hit) {
         for (int target : g.targets[c]) {
           if (reaches[target]) {
@@ -170,7 +179,7 @@ void CheckBorrowAcrossMutation(const Program& p, const Graph& g,
   for (std::size_t c = 0; c < p.calls.size(); ++c) {
     const CallSite& call = p.calls[c];
     if (!call.in_guard_region) continue;
-    bool hit = call.callee == "AddTrajectory";
+    bool hit = IsReplayMutation(call.callee);
     if (!hit) {
       for (int target : g.targets[c]) {
         if (reaches[target]) {
@@ -180,11 +189,11 @@ void CheckBorrowAcrossMutation(const Program& p, const Graph& g,
       }
     }
     if (!hit) continue;
-    // Witness chain from this call toward AddTrajectory.
+    // Witness chain from this call toward the mutation entry point.
     std::string path = p.defs[call.caller].display + " -> " + call.callee;
     std::size_t w = c;
     int hops = 0;
-    while (p.calls[w].callee != "AddTrajectory" && hops++ < 6) {
+    while (!IsReplayMutation(p.calls[w].callee) && hops++ < 6) {
       int next = -1;
       for (int target : g.targets[w]) {
         if (reaches[target]) {
@@ -197,12 +206,12 @@ void CheckBorrowAcrossMutation(const Program& p, const Graph& g,
       path += " -> " + p.calls[w].callee;
     }
     Report(p, findings, p.defs[call.caller].file, call.line, kBorrow,
-           "call inside a ReplayBuffer::ReadGuard borrow window reaches "
-           "AddTrajectory (" + path + ")",
-           "AddTrajectory may compact/retire trajectories and invalidate "
-           "borrowed spans; end the borrow (guard scope exit or .clear()) "
-           "before mutating the buffer — this is the static form of the "
-           "PF_DCHECK in ReplayBuffer::AddTrajectory");
+           "call inside a ReplayBuffer::ReadGuard borrow window reaches a "
+           "replay mutation (" + path + ")",
+           "AddTrajectory/EvictToBudget may compact, evict or retire "
+           "trajectories and invalidate borrowed spans; end the borrow "
+           "(guard scope exit or .clear()) before mutating the buffer — "
+           "this is the static form of the PF_DCHECK in those entry points");
   }
 }
 

@@ -262,6 +262,30 @@ int SelfTest() {
          "  buffer.AddTrajectory(1);\n"
          "}\n"}},
        {}},
+      // Eviction is a mutation site too: EvictToBudget removes trajectories
+      // outside any insertion, so a borrow window reaching it is the same
+      // use-after-compaction hazard as one reaching AddTrajectory.
+      {"borrow-reaches-eviction",
+       {{"src/rl/learner.cc",
+         "void Train(ReplayBuffer& buffer) {\n"
+         "  ReplayBuffer::ReadGuard guard(buffer);\n"
+         "  Shrink(buffer);\n"
+         "}\n"
+         "void Shrink(ReplayBuffer& buffer) {\n"
+         "  buffer.EvictToBudget();\n"
+         "}\n"}},
+       {"borrow-across-mutation"}},
+      {"eviction-outside-borrow-ok",
+       {{"src/rl/learner.cc",
+         "void Train(ReplayBuffer& buffer) {\n"
+         "  {\n"
+         "    ReplayBuffer::ReadGuard guard(buffer);\n"
+         "    Materialize(buffer);\n"
+         "  }\n"
+         "  buffer.EvictToBudget();\n"
+         "}\n"
+         "void Materialize(ReplayBuffer& buffer) {}\n"}},
+       {}},
       {"borrow-pragma",
        {{"src/rl/learner.cc",
          "void Train(ReplayBuffer& buffer) {\n"
